@@ -1,0 +1,238 @@
+// Benchmarks regenerating the paper's evaluation, one target per table
+// and figure (see DESIGN.md's experiment index):
+//
+//	BenchmarkTable2Optimizer        — Table 2 parameter search
+//	BenchmarkTable5SumCheckerLocal  — Table 5 local overhead per config
+//	BenchmarkPermCheckerLocal       — Section 7.2 overhead (CRC/Tab)
+//	BenchmarkFig3AccuracySweep      — Fig. 3 accuracy harness
+//	BenchmarkFig4WeakScaling        — Fig. 4 checked/unchecked pipeline
+//	BenchmarkFig5PermAccuracy       — Fig. 5 accuracy harness
+//	BenchmarkCommVolumeAudit        — bottleneck-volume audit
+//	BenchmarkReduceByKeyChecked     — end-to-end checked operation
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/exp"
+	"repro/internal/hashing"
+	"repro/internal/params"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable2Optimizer regenerates all 16 rows of Table 2.
+func BenchmarkTable2Optimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := params.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 16 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable5SumCheckerLocal measures the checker's local
+// accumulation per element for every Table 5 configuration. The
+// ns/element metric is the paper's reported quantity.
+func BenchmarkTable5SumCheckerLocal(b *testing.B) {
+	const elements = 200000
+	pairs := workload.UniformPairs(elements, 1<<62, 1<<62, 1)
+	for _, cfg := range core.ScalingConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name(), func(b *testing.B) {
+			c := core.NewSumChecker(cfg, 7)
+			table := c.NewTable()
+			b.SetBytes(int64(16 * elements))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Accumulate(table, pairs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(elements), "ns/elem")
+		})
+	}
+	// The reduce operation's own local work, the paper's ~88 ns
+	// comparison point.
+	b.Run("Reduce-reference", func(b *testing.B) {
+		b.SetBytes(int64(16 * elements))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := make(map[uint64]uint64, 1024)
+			for _, pr := range pairs {
+				m[pr.Key] += pr.Value
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(elements), "ns/elem")
+	})
+}
+
+// BenchmarkPermCheckerLocal measures permutation fingerprinting per
+// element (Section 7.2: 2.0 ns CRC, 2.8 ns Tab on the paper's machine).
+func BenchmarkPermCheckerLocal(b *testing.B) {
+	const elements = 200000
+	input := workload.UniformU64s(elements, 1e8, 2)
+	output := data.CloneU64s(input)
+	data.SortU64(output)
+	for _, fam := range []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab, hashing.FamilyTab64, hashing.FamilyMix} {
+		fam := fam
+		b.Run(fam.Name, func(b *testing.B) {
+			cfg := core.PermConfig{Family: fam, LogH: 32, Iterations: 1}
+			c := core.NewPermChecker(cfg, 3)
+			b.SetBytes(int64(16 * elements))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lambda := core.PermCheckLocalWork(c, input, output)
+				if len(lambda) != 1 {
+					b.Fatal("bad lambda")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(2*elements), "ns/elem")
+		})
+	}
+}
+
+// BenchmarkFig3AccuracySweep runs a reduced Fig. 3 sweep end to end.
+func BenchmarkFig3AccuracySweep(b *testing.B) {
+	opt := exp.AccuracySumOptions{
+		Elements:    500,
+		KeyUniverse: 100000,
+		MinRuns:     200,
+		MaxRuns:     200,
+		TargetFails: 1,
+		Seed:        4,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.AccuracySum(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4WeakScaling times the checked reduce pipeline at p=8 and
+// reports the overhead ratio.
+func BenchmarkFig4WeakScaling(b *testing.B) {
+	opt := exp.WeakScalingOptions{
+		ItemsPerPE:  5000,
+		KeyUniverse: 100000,
+		PEs:         []int{8},
+		Repeats:     1,
+		Seed:        5,
+		Configs:     []core.SumConfig{{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC}},
+	}
+	var lastRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.WeakScaling(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRatio = rows[0].Ratio
+	}
+	b.ReportMetric(lastRatio, "overhead-ratio")
+}
+
+// BenchmarkFig5PermAccuracy runs a reduced Fig. 5 sweep end to end.
+func BenchmarkFig5PermAccuracy(b *testing.B) {
+	opt := exp.AccuracyPermOptions{
+		Elements:    500,
+		Universe:    1e8,
+		MinRuns:     200,
+		MaxRuns:     200,
+		TargetFails: 1,
+		Seed:        6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.AccuracyPerm(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkCommVolumeAudit measures the bottleneck-volume audit of the
+// Section 1 claim and reports the checker's bottleneck bytes.
+func BenchmarkCommVolumeAudit(b *testing.B) {
+	opt := exp.CommVolumeOptions{
+		P:      4,
+		Ns:     []int{20000},
+		Config: core.SumConfig{Iterations: 5, Buckets: 16, RHatLog: 5, Family: hashing.FamilyCRC},
+		Seed:   7,
+	}
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.CommVolume(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = rows[0].CheckerBytes
+	}
+	b.ReportMetric(float64(bytes), "checker-bytes")
+}
+
+// BenchmarkModeledScaling runs the alpha-beta-model scaling sweep at
+// p=1024 and reports the checker's share of modeled communication time.
+func BenchmarkModeledScaling(b *testing.B) {
+	opt := exp.ModeledScalingOptions{
+		ItemsPerPE: 2000,
+		PEs:        []int{1024},
+		AlphaNs:    10000,
+		BetaNsPerB: 1,
+		Config:     core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
+		Seed:       10,
+	}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.ModeledScaling(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = rows[0].Overhead
+	}
+	b.ReportMetric(overhead, "chk/op-modeled")
+}
+
+// BenchmarkReduceByKeyChecked measures the full checked operation via
+// the public API.
+func BenchmarkReduceByKeyChecked(b *testing.B) {
+	global := workload.ZipfPairs(40000, 10000, 100, 8)
+	const p = 4
+	b.SetBytes(int64(16 * len(global)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := repro.Run(p, uint64(i), func(w *repro.Worker) error {
+			s, e := data.SplitEven(len(global), p, w.Rank())
+			_, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), global[s:e], repro.SumFn)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSortChecked measures the full checked sort via the public
+// API.
+func BenchmarkSortChecked(b *testing.B) {
+	global := workload.UniformU64s(40000, 1e9, 9)
+	const p = 4
+	b.SetBytes(int64(8 * len(global)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := repro.Run(p, uint64(i), func(w *repro.Worker) error {
+			s, e := data.SplitEven(len(global), p, w.Rank())
+			_, err := repro.SortChecked(w, repro.DefaultOptions(), global[s:e])
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

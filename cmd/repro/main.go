@@ -1,0 +1,280 @@
+// Command repro regenerates every table and figure of the paper
+// "Communication Efficient Checking of Big Data Operations"
+// (Hübschle-Schneider and Sanders) from this repository's
+// implementation.
+//
+// Usage:
+//
+//	repro <experiment> [flags]
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig3 fig4 fig5
+// permoverhead commvolume all. Flags (where applicable) scale the
+// defaults up to paper scale, e.g.
+//
+//	repro fig3 -elements 50000 -max-runs 100000
+//	repro fig4 -items 125000 -pes 32,64,128,256,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/params"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		fmt.Print(exp.RenderTable1())
+	case "table2":
+		err = runTable2()
+	case "table3":
+		fmt.Print(exp.RenderTable3())
+	case "table4":
+		fmt.Print(exp.RenderTable4())
+	case "table5":
+		err = runTable5(args)
+	case "table6":
+		fmt.Print(exp.RenderTable6())
+	case "fig3":
+		err = runFig3(args)
+	case "fig4":
+		err = runFig4(args)
+	case "fig5":
+		err = runFig5(args)
+	case "permoverhead":
+		err = runPermOverhead(args)
+	case "commvolume":
+		err = runCommVolume(args)
+	case "modeled":
+		err = runModeled(args)
+	case "all":
+		err = runAll()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: repro <experiment> [flags]
+
+experiments:
+  table1        checker properties (paper Table 1)
+  table2        optimal (d, rhat, #its) per message size (paper Table 2)
+  table3        tested checker configurations (paper Table 3)
+  table4        sum checker manipulators (paper Table 4)
+  table5        sum checker local overhead, ns/element (paper Table 5)
+  table6        permutation checker manipulators (paper Table 6)
+  fig3          sum checker detection accuracy sweep (paper Fig. 3)
+  fig4          weak scaling of the checked reduce pipeline (paper Fig. 4)
+  fig5          permutation checker accuracy sweep (paper Fig. 5 / App. A)
+  permoverhead  permutation checker local overhead (paper Sec. 7.2)
+  commvolume    bottleneck communication volume audit (Sec. 1 claim)
+  modeled       alpha-beta-model comm makespans up to p=4096 (Sec. 2 model)
+  all           everything above at default scale`)
+}
+
+func runTable2() error {
+	rows, err := params.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderTable2(rows))
+	return nil
+}
+
+func runFig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	opt := exp.DefaultAccuracySumOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "input elements per trial (paper: 50000)")
+	fs.IntVar(&opt.KeyUniverse, "universe", opt.KeyUniverse, "power-law key universe (paper: 1e6)")
+	fs.IntVar(&opt.MinRuns, "min-runs", opt.MinRuns, "minimum trials per point")
+	fs.IntVar(&opt.MaxRuns, "max-runs", opt.MaxRuns, "maximum trials per point (paper: 100000)")
+	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := exp.AccuracySum(opt)
+	fmt.Print(exp.RenderAccuracy("Fig. 3: sum aggregation checker accuracy (failure rate / delta)", rows))
+	return nil
+}
+
+func runFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	opt := exp.DefaultWeakScalingOptions()
+	fs.IntVar(&opt.ItemsPerPE, "items", opt.ItemsPerPE, "items per PE (paper: 125000)")
+	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "timing repetitions")
+	pes := fs.String("pes", "", "comma-separated PE counts (default 1..512 doubling)")
+	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pes != "" {
+		parsed, err := parseInts(*pes)
+		if err != nil {
+			return err
+		}
+		opt.PEs = parsed
+	}
+	rows, err := exp.WeakScaling(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderScaling(rows))
+	return nil
+}
+
+func runFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	opt := exp.DefaultAccuracyPermOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "input elements per trial (paper: 1e6)")
+	fs.IntVar(&opt.MinRuns, "min-runs", opt.MinRuns, "minimum trials per point")
+	fs.IntVar(&opt.MaxRuns, "max-runs", opt.MaxRuns, "maximum trials per point (paper: 100000)")
+	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := exp.AccuracyPerm(opt)
+	fmt.Print(exp.RenderAccuracy("Fig. 5: permutation/sort checker accuracy (failure rate / delta)", rows))
+	return nil
+}
+
+func runTable5(args []string) error {
+	fs := flag.NewFlagSet("table5", flag.ExitOnError)
+	opt := exp.DefaultOverheadOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "pairs to process (paper: 1e6)")
+	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderOverhead(exp.OverheadSum(opt)))
+	return nil
+}
+
+func runPermOverhead(args []string) error {
+	fs := flag.NewFlagSet("permoverhead", flag.ExitOnError)
+	opt := exp.DefaultOverheadOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements to process (paper: 1e6)")
+	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderPermOverhead(exp.OverheadPerm(opt)))
+	return nil
+}
+
+func runCommVolume(args []string) error {
+	fs := flag.NewFlagSet("commvolume", flag.ExitOnError)
+	opt := exp.DefaultCommVolumeOptions()
+	fs.IntVar(&opt.P, "p", opt.P, "number of PEs")
+	ns := fs.String("ns", "", "comma-separated input sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ns != "" {
+		parsed, err := parseInts(*ns)
+		if err != nil {
+			return err
+		}
+		opt.Ns = parsed
+	}
+	rows, err := exp.CommVolume(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderVolume(rows))
+	return nil
+}
+
+func runModeled(args []string) error {
+	fs := flag.NewFlagSet("modeled", flag.ExitOnError)
+	opt := exp.DefaultModeledScalingOptions()
+	fs.IntVar(&opt.ItemsPerPE, "items", opt.ItemsPerPE, "items per PE")
+	fs.Float64Var(&opt.AlphaNs, "alpha", opt.AlphaNs, "startup latency in ns")
+	fs.Float64Var(&opt.BetaNsPerB, "beta", opt.BetaNsPerB, "per-byte time in ns")
+	pes := fs.String("pes", "", "comma-separated PE counts (default 32..4096 doubling)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pes != "" {
+		parsed, err := parseInts(*pes)
+		if err != nil {
+			return err
+		}
+		opt.PEs = parsed
+	}
+	rows, err := exp.ModeledScaling(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderModeled(rows))
+	return nil
+}
+
+func runAll() error {
+	fmt.Print(exp.RenderTable1())
+	fmt.Println()
+	if err := runTable2(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(exp.RenderTable3())
+	fmt.Println()
+	fmt.Print(exp.RenderTable4())
+	fmt.Println()
+	fmt.Print(exp.RenderTable6())
+	fmt.Println()
+	if err := runTable5(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runPermOverhead(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runCommVolume(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runModeled(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig3(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig5(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runFig4(nil)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+	"repro/internal/workload"
+)
+
+// TestNetworkBitflipDuringRedistributionCaught injects single-bit
+// faults into in-flight messages of a real distributed reduction and
+// verifies the checker catches the corruption. This exercises the
+// scenario the paper opens with: silent transport/memory errors no
+// existing framework detects.
+func TestNetworkBitflipDuringRedistributionCaught(t *testing.T) {
+	const p = 4
+	clean := workload.ZipfPairs(2000, 200, 1<<30, 1)
+	cfg := core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC}
+
+	caught, injected, runs := 0, 0, 0
+	// Sweep the corrupted-message index so faults land in different
+	// phases of the exchange; count only runs where the fault actually
+	// changed the aggregation result (a flipped bit in one pair always
+	// does — keys move or values change — but the fault may hit a
+	// checker-internal message instead, which by design *aborts* into a
+	// reject, so both count as caught).
+	for target := int64(1); target <= 24; target += 2 {
+		runs++
+		inner := comm.NewMemNetwork(p)
+		net := comm.NewFaultyNetwork(inner, target, 13)
+		outs := make([][]data.Pair, p)
+		err := dist.RunNetwork(net, uint64(target), func(w *dist.Worker) error {
+			// Phase 1: the reduction runs over the faulty network.
+			pt := ops.NewPartitioner(3, p)
+			out, err := ops.ReduceByKey(w, pt, shardPairs(clean, p, w.Rank()), ops.SumFn)
+			outs[w.Rank()] = out
+			return err
+		})
+		if err != nil {
+			// A fault in a framework control message can surface as a
+			// decode error; that is detection too, just not silent.
+			caught++
+			net.Close()
+			continue
+		}
+		if !net.DidInject() {
+			net.Close()
+			continue
+		}
+		injected++
+		// Phase 2: check on a clean network (the checker itself must
+		// not be confused by earlier transport faults).
+		err = dist.Run(p, uint64(target)+99, func(w *dist.Worker) error {
+			ok, err := core.CheckSumAgg(w, cfg, shardPairs(clean, p, w.Rank()), outs[w.Rank()])
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && !ok {
+				caught++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Close()
+	}
+	if injected < 5 {
+		t.Skipf("only %d faults landed in data messages", injected)
+	}
+	// delta = 1.3e-9: every injected fault must be caught.
+	if caught < injected {
+		t.Fatalf("caught %d of %d injected transport faults", caught, injected)
+	}
+}
+
+// TestSortVerdictMatchesGroundTruthUnderNetworkFaults injects a bitflip
+// into each in-flight message position of a distributed sort in turn
+// and asserts the checker's verdict equals ground truth every time:
+// reject iff the produced output is not a sorted permutation of the
+// input. This covers both directions at once — corrupted data messages
+// must be caught, and a fault that happens to leave the result correct
+// (e.g. in a splitter sample) must still be accepted (one-sided error).
+func TestSortVerdictMatchesGroundTruthUnderNetworkFaults(t *testing.T) {
+	const p = 3
+	clean := workload.UniformU64s(1200, 1e8, 2)
+	cfg := core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 2}
+	ref := data.CloneU64s(clean)
+	data.SortU64(ref)
+
+	groundTruth := func(outs [][]uint64) bool {
+		var all []uint64
+		prevMax := uint64(0)
+		first := true
+		for _, o := range outs {
+			if !data.IsSortedU64(o) {
+				return false
+			}
+			if len(o) > 0 {
+				if !first && o[0] < prevMax {
+					return false
+				}
+				prevMax = o[len(o)-1]
+				first = false
+			}
+			all = append(all, o...)
+		}
+		if len(all) != len(ref) {
+			return false
+		}
+		data.SortU64(all)
+		for i := range ref {
+			if all[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	injected, failStop := 0, 0
+	for target := int64(1); target <= 20; target++ {
+		inner := comm.NewMemNetwork(p)
+		net := comm.NewFaultyNetwork(inner, target, 7)
+		outs := make([][]uint64, p)
+		err := dist.RunNetwork(net, uint64(target), func(w *dist.Worker) error {
+			out, err := ops.Sort(w, shardU64(clean, p, w.Rank()))
+			outs[w.Rank()] = out
+			return err
+		})
+		if err != nil {
+			// Fault broke the framework protocol: detected by
+			// fail-stop, which is also a catch (not silent).
+			failStop++
+			net.Close()
+			continue
+		}
+		if !net.DidInject() {
+			net.Close()
+			continue
+		}
+		injected++
+		want := groundTruth(outs)
+		err = dist.Run(p, uint64(target)+7, func(w *dist.Worker) error {
+			got, err := core.CheckSorted(w, cfg, shardU64(clean, p, w.Rank()), outs[w.Rank()])
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && got != want {
+				t.Errorf("target %d: checker verdict %v, ground truth %v", target, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Close()
+	}
+	if injected+failStop < 5 {
+		t.Fatalf("fault sweep ineffective: %d injected, %d fail-stopped", injected, failStop)
+	}
+}

@@ -1,0 +1,81 @@
+package collective
+
+import "fmt"
+
+// AllReduceRD combines all PEs' words and distributes the result, using
+// recursive doubling: log p rounds in which PEs at distance 2^k
+// exchange and combine full vectors. Compared to AllReduce
+// (reduce-to-root plus broadcast, about 2 log p message latencies on
+// the critical path), recursive doubling needs only log p rounds —
+// O(beta*k*log p + alpha*log p) — at the cost of every PE sending in
+// every round. The checkers keep the simple variant; this one exists
+// for the collective substrate and its modeled ablation (the paper's
+// reference [8] discusses full-bandwidth alternatives).
+//
+// Non-power-of-two p is handled with the standard fold: the first
+// r = p - 2^floor(log p) "extra" PEs fold their vectors into partners,
+// the remaining power-of-two group runs recursive doubling, and the
+// extras receive the final result back.
+func (c *Comm) AllReduceRD(words []uint64, op ReduceOp) ([]uint64, error) {
+	tag := c.nextTags(64 + 2)
+	p, rank := c.Size(), c.Rank()
+	acc := make([]uint64, len(words))
+	copy(acc, words)
+	if p == 1 {
+		return acc, nil
+	}
+	// Largest power of two <= p.
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	extra := p - pow2
+	// Phase 1: extras (ranks pow2..p-1) fold into ranks 0..extra-1.
+	if rank >= pow2 {
+		if err := c.sendU64s(rank-pow2, tag, acc); err != nil {
+			return nil, err
+		}
+	} else if rank < extra {
+		got, err := c.recvU64s(rank+pow2, tag)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != len(acc) {
+			return nil, fmt.Errorf("collective: AllReduceRD length mismatch: %d vs %d", len(got), len(acc))
+		}
+		op(acc, got)
+	}
+	// Phase 2: recursive doubling among ranks 0..pow2-1.
+	if rank < pow2 {
+		round := 0
+		for d := 1; d < pow2; d <<= 1 {
+			partner := rank ^ d
+			roundTag := tag + 2 + round
+			round++
+			if err := c.sendU64s(partner, roundTag, acc); err != nil {
+				return nil, err
+			}
+			got, err := c.recvU64s(partner, roundTag)
+			if err != nil {
+				return nil, err
+			}
+			if len(got) != len(acc) {
+				return nil, fmt.Errorf("collective: AllReduceRD round length mismatch: %d vs %d", len(got), len(acc))
+			}
+			op(acc, got)
+		}
+	}
+	// Phase 3: return results to the extras.
+	if rank < extra {
+		if err := c.sendU64s(rank+pow2, tag+1, acc); err != nil {
+			return nil, err
+		}
+	} else if rank >= pow2 {
+		got, err := c.recvU64s(rank-pow2, tag+1)
+		if err != nil {
+			return nil, err
+		}
+		acc = got
+	}
+	return acc, nil
+}

@@ -1,0 +1,137 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestAllReduceRDMatchesAllReduce(t *testing.T) {
+	for _, p := range sizes {
+		p := p
+		runSPMD(t, p, func(c *Comm) error {
+			in := []uint64{uint64(c.Rank()*13 + 1), uint64(c.Rank())}
+			want, err := c.AllReduce(in, OpSum)
+			if err != nil {
+				return err
+			}
+			got, err := c.AllReduceRD(in, OpSum)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("p=%d rank %d: RD %v, want %v", p, c.Rank(), got, want)
+					break
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllReduceRDOps(t *testing.T) {
+	const p = 6 // non-power-of-two: exercises the fold phases
+	runSPMD(t, p, func(c *Comm) error {
+		in := []uint64{uint64(c.Rank() + 3)}
+		mn, err := c.AllReduceRD(in, OpMin)
+		if err != nil {
+			return err
+		}
+		if mn[0] != 3 {
+			t.Errorf("rank %d: min %d", c.Rank(), mn[0])
+		}
+		mx, err := c.AllReduceRD(in, OpMax)
+		if err != nil {
+			return err
+		}
+		if mx[0] != uint64(p+2) {
+			t.Errorf("rank %d: max %d", c.Rank(), mx[0])
+		}
+		x, err := c.AllReduceRD([]uint64{1 << c.Rank()}, OpXor)
+		if err != nil {
+			return err
+		}
+		if x[0] != (1<<p)-1 {
+			t.Errorf("rank %d: xor %b", c.Rank(), x[0])
+		}
+		return nil
+	})
+}
+
+func TestAllReduceRDIdenticalOnAllPEs(t *testing.T) {
+	const p = 7
+	results := make([][]uint64, p)
+	runSPMD(t, p, func(c *Comm) error {
+		got, err := c.AllReduceRD([]uint64{uint64(c.Rank() * 7)}, OpSum)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = got
+		return nil
+	})
+	for r := 1; r < p; r++ {
+		if results[r][0] != results[0][0] {
+			t.Fatalf("rank %d result %d differs from rank 0's %d", r, results[r][0], results[0][0])
+		}
+	}
+}
+
+func TestAllReduceRDInterleavesWithOtherCollectives(t *testing.T) {
+	runSPMD(t, 5, func(c *Comm) error {
+		for i := 0; i < 30; i++ {
+			if _, err := c.AllReduceRD([]uint64{1}, OpSum); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if _, err := c.BroadcastU64(i%5, uint64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestAllReduceRDModeledLatencyBeatsReduceBroadcast verifies the point
+// of the algorithm on the virtual-time network: for large vectors,
+// recursive doubling's makespan (log p full-vector rounds) beats
+// reduce-then-broadcast (about twice that critical path).
+func TestAllReduceRDModeledLatencyBeatsReduceBroadcast(t *testing.T) {
+	const p = 16
+	const words = 4096
+	run := func(rd bool) float64 {
+		net := comm.NewSimNetwork(p, 10000, 1)
+		defer net.Close()
+		done := make(chan error, p)
+		for r := 0; r < p; r++ {
+			r := r
+			go func() {
+				c := New(net.Endpoint(r))
+				in := make([]uint64, words)
+				for i := range in {
+					in[i] = uint64(r + i)
+				}
+				var err error
+				if rd {
+					_, err = c.AllReduceRD(in, OpSum)
+				} else {
+					_, err = c.AllReduce(in, OpSum)
+				}
+				done <- err
+			}()
+		}
+		for r := 0; r < p; r++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return net.MakespanNs()
+	}
+	rb := run(false)
+	rd := run(true)
+	if rd >= rb {
+		t.Fatalf("recursive doubling makespan %.0f ns not below reduce+broadcast %.0f ns", rd, rb)
+	}
+}

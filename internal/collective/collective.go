@@ -1,0 +1,511 @@
+// Package collective implements the collective communication toolbox of
+// Section 2 on top of a comm.Endpoint: binomial-tree broadcast and
+// reduction, all-reduction, gather/all-gather, exclusive prefix scan,
+// dissemination barrier, and direct-delivery all-to-all. Broadcast,
+// reduction and all-reduction run in Tcoll(k) = O(beta*k + alpha*log p),
+// the bound the checkers' analyses rely on.
+//
+// All operations are SPMD: every PE must call the same sequence of
+// collectives on its own Comm. An internal operation counter derives a
+// fresh tag per collective, so consecutive collectives cannot confuse
+// each other's messages.
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// userTagBase separates explicitly tagged point-to-point traffic from
+// the tags the collectives allocate.
+const userTagBase = 1 << 30
+
+// Comm wraps an endpoint with collective operations.
+type Comm struct {
+	ep  comm.Endpoint
+	tag int
+}
+
+// New returns a collective communicator over ep.
+func New(ep comm.Endpoint) *Comm { return &Comm{ep: ep} }
+
+// Rank returns this PE's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size returns the number of PEs.
+func (c *Comm) Size() int { return c.ep.Size() }
+
+// Endpoint exposes the underlying endpoint.
+func (c *Comm) Endpoint() comm.Endpoint { return c.ep }
+
+// nextTag allocates the tag for the next collective operation. Because
+// every PE executes the same collective sequence, counters stay aligned
+// across PEs without communication.
+func (c *Comm) nextTag() int {
+	t := c.tag
+	c.tag++
+	return t
+}
+
+// nextTags reserves a contiguous block of n tags for multi-round
+// collectives (scan, barrier), one tag per round, so rounds of the same
+// operation cannot be confused with each other or with later operations.
+func (c *Comm) nextTags(n int) int {
+	t := c.tag
+	c.tag += n
+	return t
+}
+
+// U64sToBytes encodes words little-endian, 8 bytes per word.
+func U64sToBytes(words []uint64) []byte {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return buf
+}
+
+// BytesToU64s decodes a little-endian word payload.
+func BytesToU64s(buf []byte) ([]uint64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("collective: payload length %d not a multiple of 8", len(buf))
+	}
+	words := make([]uint64, len(buf)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return words, nil
+}
+
+func (c *Comm) sendU64s(dst, tag int, words []uint64) error {
+	return c.ep.Send(dst, tag, U64sToBytes(words))
+}
+
+func (c *Comm) recvU64s(src, tag int) ([]uint64, error) {
+	buf, err := c.ep.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToU64s(buf)
+}
+
+// SendTagged sends words to dst on the user tag space (point-to-point
+// traffic outside the collective sequence).
+func (c *Comm) SendTagged(dst, tag int, words []uint64) error {
+	return c.sendU64s(dst, userTagBase+tag, words)
+}
+
+// RecvTagged receives words from src on the user tag space.
+func (c *Comm) RecvTagged(src, tag int) ([]uint64, error) {
+	return c.recvU64s(src, userTagBase+tag)
+}
+
+// ReserveTag allocates a tag from the collective sequence for a custom
+// point-to-point protocol (e.g. the sort checker's boundary chain).
+// Like any collective, all PEs must call it at the same point in their
+// operation sequence. Use SendWords/RecvWords with the returned tag.
+func (c *Comm) ReserveTag() int { return c.nextTag() }
+
+// SendWords sends on a tag obtained from ReserveTag.
+func (c *Comm) SendWords(dst, tag int, words []uint64) error {
+	return c.sendU64s(dst, tag, words)
+}
+
+// RecvWords receives on a tag obtained from ReserveTag.
+func (c *Comm) RecvWords(src, tag int) ([]uint64, error) {
+	return c.recvU64s(src, tag)
+}
+
+// ReduceOp combines src into dst element-wise. Implementations must be
+// associative and commutative over the element encoding.
+type ReduceOp func(dst, src []uint64)
+
+// OpSum adds with wraparound (the natural operation in Z/2^64Z).
+func OpSum(dst, src []uint64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// OpXor combines bitwise.
+func OpXor(dst, src []uint64) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// OpMin keeps the element-wise minimum.
+func OpMin(dst, src []uint64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpMax keeps the element-wise maximum.
+func OpMax(dst, src []uint64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpAnd combines bitwise (used for verdict vectors).
+func OpAnd(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+// OpSumMod returns addition modulo r; inputs must already be < r.
+func OpSumMod(r uint64) ReduceOp {
+	return func(dst, src []uint64) {
+		for i := range dst {
+			s := dst[i] + src[i] // no overflow: both < r <= 2^63
+			if s >= r {
+				s -= r
+			}
+			dst[i] = s
+		}
+	}
+}
+
+// Broadcast distributes root's words to all PEs along a binomial tree:
+// O(beta*k + alpha*log p). Every PE returns the broadcast data.
+func (c *Comm) Broadcast(root int, words []uint64) ([]uint64, error) {
+	tag := c.nextTag()
+	p, rank := c.Size(), c.Rank()
+	if p == 1 {
+		return words, nil
+	}
+	vrank := (rank - root + p) % p
+	data := words
+	// Receive phase: the lowest set bit of vrank identifies the parent.
+	mask := 1
+	for ; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % p
+			got, err := c.recvU64s(parent, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+	}
+	// Send phase: forward to children at decreasing bit positions.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < p {
+			child := (vrank + mask + root) % p
+			if err := c.sendU64s(child, tag, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines all PEs' words with op along a binomial tree; the
+// result is meaningful only at root (other PEs receive their partial).
+// words is not modified. O(beta*k + alpha*log p).
+func (c *Comm) Reduce(root int, words []uint64, op ReduceOp) ([]uint64, error) {
+	tag := c.nextTag()
+	p, rank := c.Size(), c.Rank()
+	acc := make([]uint64, len(words))
+	copy(acc, words)
+	if p == 1 {
+		return acc, nil
+	}
+	vrank := (rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask == 0 {
+			partner := vrank | mask
+			if partner < p {
+				got, err := c.recvU64s((partner+root)%p, tag)
+				if err != nil {
+					return nil, err
+				}
+				if len(got) != len(acc) {
+					return nil, fmt.Errorf("collective: reduce length mismatch: %d vs %d", len(got), len(acc))
+				}
+				op(acc, got)
+			}
+		} else {
+			parent := (vrank - mask + root) % p
+			if err := c.sendU64s(parent, tag, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return acc, nil
+}
+
+// AllReduce combines all PEs' words and distributes the result to every
+// PE (reduce to 0, then broadcast).
+func (c *Comm) AllReduce(words []uint64, op ReduceOp) ([]uint64, error) {
+	red, err := c.Reduce(0, words, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Broadcast(0, red)
+}
+
+// Gather collects every PE's words at root, returned as a slice indexed
+// by rank (nil at non-root PEs). Payload lengths may differ across PEs.
+// Uses a binomial tree, so no PE handles more than O(log p) messages.
+func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
+	tag := c.nextTag()
+	p, rank := c.Size(), c.Rank()
+	vrank := (rank - root + p) % p
+	// bundle maps virtual rank -> payload, encoded for transport as
+	// (count, then per entry: vrank, len, words...).
+	bundle := map[int][]uint64{vrank: words}
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask == 0 {
+			partner := vrank | mask
+			if partner < p {
+				got, err := c.recvU64s((partner+root)%p, tag)
+				if err != nil {
+					return nil, err
+				}
+				if err := decodeBundle(got, bundle); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			parent := (vrank - mask + root) % p
+			if err := c.sendU64s(parent, tag, encodeBundle(bundle)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+	}
+	out := make([][]uint64, p)
+	for v, w := range bundle {
+		out[(v+root)%p] = w
+	}
+	return out, nil
+}
+
+// AllGather collects every PE's words at every PE.
+func (c *Comm) AllGather(words []uint64) ([][]uint64, error) {
+	parts, err := c.Gather(0, words)
+	if err != nil {
+		return nil, err
+	}
+	// Broadcast the gathered bundle.
+	var flat []uint64
+	if c.Rank() == 0 {
+		bundle := make(map[int][]uint64, len(parts))
+		for r, w := range parts {
+			bundle[r] = w
+		}
+		flat = encodeBundle(bundle)
+	}
+	flat, err = c.Broadcast(0, flat)
+	if err != nil {
+		return nil, err
+	}
+	bundle := make(map[int][]uint64)
+	if err := decodeBundle(flat, bundle); err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, c.Size())
+	for r, w := range bundle {
+		out[r] = w
+	}
+	return out, nil
+}
+
+func encodeBundle(bundle map[int][]uint64) []uint64 {
+	size := 1
+	for _, w := range bundle {
+		size += 2 + len(w)
+	}
+	out := make([]uint64, 0, size)
+	out = append(out, uint64(len(bundle)))
+	for v, w := range bundle {
+		out = append(out, uint64(v), uint64(len(w)))
+		out = append(out, w...)
+	}
+	return out
+}
+
+func decodeBundle(flat []uint64, into map[int][]uint64) error {
+	if len(flat) == 0 {
+		return fmt.Errorf("collective: empty bundle")
+	}
+	count := int(flat[0])
+	pos := 1
+	for i := 0; i < count; i++ {
+		if pos+2 > len(flat) {
+			return fmt.Errorf("collective: truncated bundle header")
+		}
+		v := int(flat[pos])
+		n := int(flat[pos+1])
+		pos += 2
+		if pos+n > len(flat) {
+			return fmt.Errorf("collective: truncated bundle payload")
+		}
+		into[v] = append([]uint64(nil), flat[pos:pos+n]...)
+		pos += n
+	}
+	return nil
+}
+
+// ExclusiveScan computes the exclusive prefix combination of words
+// across ranks: PE i receives op(words_0, ..., words_{i-1}), and PE 0
+// receives identity. Dissemination (Hillis-Steele) in O(log p) rounds.
+func (c *Comm) ExclusiveScan(words []uint64, op ReduceOp, identity []uint64) ([]uint64, error) {
+	tag := c.nextTags(64)
+	p, rank := c.Size(), c.Rank()
+	incl := make([]uint64, len(words))
+	copy(incl, words)
+	excl := make([]uint64, len(identity))
+	copy(excl, identity)
+	hasExcl := false
+	round := 0
+	for d := 1; d < p; d <<= 1 {
+		// Tags differ per round: the same pair can communicate in
+		// multiple rounds of different distance.
+		roundTag := tag + round
+		round++
+		if rank+d < p {
+			if err := c.sendU64s(rank+d, roundTag, incl); err != nil {
+				return nil, err
+			}
+		}
+		if rank-d >= 0 {
+			got, err := c.recvU64s(rank-d, roundTag)
+			if err != nil {
+				return nil, err
+			}
+			op(incl, got)
+			if hasExcl {
+				op(excl, got)
+			} else {
+				copy(excl, got)
+				hasExcl = true
+			}
+		}
+	}
+	if !hasExcl {
+		copy(excl, identity)
+	}
+	return excl, nil
+}
+
+// Barrier blocks until all PEs have entered it (dissemination barrier,
+// O(alpha*log p)).
+func (c *Comm) Barrier() error {
+	tag := c.nextTags(64)
+	p, rank := c.Size(), c.Rank()
+	round := 0
+	for d := 1; d < p; d <<= 1 {
+		roundTag := tag + round
+		round++
+		dst := (rank + d) % p
+		src := (rank - d + p) % p
+		if err := c.ep.Send(dst, roundTag, nil); err != nil {
+			return err
+		}
+		if _, err := c.ep.Recv(src, roundTag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllToAllBytes sends parts[j] to PE j and returns the parts received,
+// indexed by source. Direct delivery with an offset schedule:
+// O(beta*k + alpha*p), matching Section 2's Tall-to-all.
+func (c *Comm) AllToAllBytes(parts [][]byte) ([][]byte, error) {
+	tag := c.nextTag()
+	p, rank := c.Size(), c.Rank()
+	if len(parts) != p {
+		return nil, fmt.Errorf("collective: AllToAll needs %d parts, got %d", p, len(parts))
+	}
+	out := make([][]byte, p)
+	out[rank] = parts[rank]
+	for offset := 1; offset < p; offset++ {
+		dst := (rank + offset) % p
+		src := (rank - offset + p) % p
+		if err := c.ep.Send(dst, tag, parts[dst]); err != nil {
+			return nil, err
+		}
+		got, err := c.ep.Recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// AllToAll is AllToAllBytes over word payloads.
+func (c *Comm) AllToAll(parts [][]uint64) ([][]uint64, error) {
+	enc := make([][]byte, len(parts))
+	for i, w := range parts {
+		enc[i] = U64sToBytes(w)
+	}
+	got, err := c.AllToAllBytes(enc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, len(got))
+	for i, b := range got {
+		out[i], err = BytesToU64s(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Exchange posts a send of words to dst (if dst is a valid rank) and
+// then receives from src (if valid), for neighbour patterns like the
+// sort checker's boundary exchange. Pass -1 to skip either side; a
+// skipped receive returns nil.
+func (c *Comm) Exchange(dst int, words []uint64, src int) ([]uint64, error) {
+	tag := c.nextTag()
+	if dst >= 0 {
+		if err := c.sendU64s(dst, tag, words); err != nil {
+			return nil, err
+		}
+	}
+	if src < 0 {
+		return nil, nil
+	}
+	return c.recvU64s(src, tag)
+}
+
+// AllAgree all-reduces a boolean verdict: the result is true iff every
+// PE passed true. This is the checkers' final accept/reject step.
+func (c *Comm) AllAgree(ok bool) (bool, error) {
+	v := uint64(1)
+	if !ok {
+		v = 0
+	}
+	res, err := c.AllReduce([]uint64{v}, OpAnd)
+	if err != nil {
+		return false, err
+	}
+	return res[0] == 1, nil
+}
+
+// BroadcastU64 broadcasts a single word from root.
+func (c *Comm) BroadcastU64(root int, x uint64) (uint64, error) {
+	res, err := c.Broadcast(root, []uint64{x})
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("collective: BroadcastU64 got %d words", len(res))
+	}
+	return res[0], nil
+}

@@ -1,0 +1,137 @@
+// Package comm provides the point-to-point message transport beneath the
+// collectives: an in-memory channel network for fast simulation and a
+// TCP network (net + encoding/gob) for real sockets. Every endpoint
+// meters bytes and messages sent and received, so the paper's central
+// metric — bottleneck communication volume, the maximum over PEs of data
+// sent or received (Section 1) — is directly observable.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed network.
+var ErrClosed = errors.New("comm: network closed")
+
+// RecvTimeout bounds how long a Recv waits before reporting a likely
+// deadlock. Zero disables the timeout.
+var RecvTimeout = 120 * time.Second
+
+// Message is one tagged point-to-point payload.
+type Message struct {
+	Src     int
+	Tag     int
+	Payload []byte
+}
+
+// Endpoint is one PE's port into the network. Endpoints follow the
+// paper's machine model: single-ported, full-duplex; matching sends and
+// receives between a pair of PEs are delivered in FIFO order. An
+// Endpoint may only be used by one goroutine at a time (the PE itself).
+type Endpoint interface {
+	// Rank is this PE's number in 0..Size()-1.
+	Rank() int
+	// Size is the number of PEs p.
+	Size() int
+	// Send delivers payload to dst with the given tag. The payload is
+	// owned by the transport after the call.
+	Send(dst, tag int, payload []byte) error
+	// Recv blocks until a message with the given source and tag is
+	// available and returns its payload. Messages from other sources or
+	// with other tags are queued, not lost.
+	Recv(src, tag int) ([]byte, error)
+	// Metrics returns this endpoint's live counters.
+	Metrics() *Metrics
+}
+
+// Network is a set of p connected endpoints.
+type Network interface {
+	Size() int
+	Endpoint(rank int) Endpoint
+	// Close tears down the network. Pending operations fail.
+	Close() error
+}
+
+// Metrics counts traffic through one endpoint. All fields are updated
+// atomically and may be read concurrently.
+type Metrics struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+func (m *Metrics) addSent(n int) {
+	atomic.AddInt64(&m.BytesSent, int64(n))
+	atomic.AddInt64(&m.MsgsSent, 1)
+}
+
+func (m *Metrics) addRecv(n int) {
+	atomic.AddInt64(&m.BytesRecv, int64(n))
+	atomic.AddInt64(&m.MsgsRecv, 1)
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (m *Metrics) Snapshot() Metrics {
+	return Metrics{
+		BytesSent: atomic.LoadInt64(&m.BytesSent),
+		BytesRecv: atomic.LoadInt64(&m.BytesRecv),
+		MsgsSent:  atomic.LoadInt64(&m.MsgsSent),
+		MsgsRecv:  atomic.LoadInt64(&m.MsgsRecv),
+	}
+}
+
+// Reset zeroes the counters.
+func (m *Metrics) Reset() {
+	atomic.StoreInt64(&m.BytesSent, 0)
+	atomic.StoreInt64(&m.BytesRecv, 0)
+	atomic.StoreInt64(&m.MsgsSent, 0)
+	atomic.StoreInt64(&m.MsgsRecv, 0)
+}
+
+// Bottleneck summarises a network's traffic by the paper's criterion:
+// the maximum over PEs of bytes (and messages) sent or received.
+type Bottleneck struct {
+	MaxBytes int64 // max over PEs of max(sent, received) bytes
+	MaxMsgs  int64 // max over PEs of max(sent, received) messages
+	SumBytes int64 // total bytes sent across all PEs
+}
+
+// NetworkBottleneck computes the bottleneck summary over all endpoints.
+func NetworkBottleneck(n Network) Bottleneck {
+	var b Bottleneck
+	for r := 0; r < n.Size(); r++ {
+		s := n.Endpoint(r).Metrics().Snapshot()
+		if s.BytesSent > b.MaxBytes {
+			b.MaxBytes = s.BytesSent
+		}
+		if s.BytesRecv > b.MaxBytes {
+			b.MaxBytes = s.BytesRecv
+		}
+		if s.MsgsSent > b.MaxMsgs {
+			b.MaxMsgs = s.MsgsSent
+		}
+		if s.MsgsRecv > b.MaxMsgs {
+			b.MaxMsgs = s.MsgsRecv
+		}
+		b.SumBytes += s.BytesSent
+	}
+	return b
+}
+
+// ResetNetwork zeroes the metrics of every endpoint.
+func ResetNetwork(n Network) {
+	for r := 0; r < n.Size(); r++ {
+		n.Endpoint(r).Metrics().Reset()
+	}
+}
+
+func validRank(r, p int) error {
+	if r < 0 || r >= p {
+		return fmt.Errorf("comm: rank %d out of range [0, %d)", r, p)
+	}
+	return nil
+}

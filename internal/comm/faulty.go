@@ -1,0 +1,74 @@
+package comm
+
+import "sync/atomic"
+
+// FaultyNetwork wraps a network and flips one bit in the payload of a
+// chosen message — a transport-level soft error, the failure class
+// motivating the paper ("spontaneous bitflips in memory ... caused for
+// example by cosmic rays", Section 1). Checkers must catch corruption
+// that happens while data is in flight, not only in final outputs.
+type FaultyNetwork struct {
+	inner Network
+	eps   []*faultyEndpoint
+	// counter numbers payloads network-wide in delivery order.
+	counter atomic.Int64
+	// target is the 1-based payload number to corrupt; 0 disables.
+	target int64
+	// bit is the bit index to flip within the payload.
+	bit int
+	// Injected reports whether the fault has been placed.
+	injected atomic.Bool
+}
+
+type faultyEndpoint struct {
+	net   *FaultyNetwork
+	inner Endpoint
+}
+
+// NewFaultyNetwork wraps inner, flipping bit `bit` of the `target`-th
+// non-empty payload received anywhere in the network (1-based).
+func NewFaultyNetwork(inner Network, target int64, bit int) *FaultyNetwork {
+	n := &FaultyNetwork{inner: inner, target: target, bit: bit}
+	n.eps = make([]*faultyEndpoint, inner.Size())
+	for i := range n.eps {
+		n.eps[i] = &faultyEndpoint{net: n, inner: inner.Endpoint(i)}
+	}
+	return n
+}
+
+// Size returns the number of PEs.
+func (n *FaultyNetwork) Size() int { return n.inner.Size() }
+
+// Endpoint returns rank's fault-injecting endpoint.
+func (n *FaultyNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
+
+// Close tears down the wrapped network.
+func (n *FaultyNetwork) Close() error { return n.inner.Close() }
+
+// DidInject reports whether the configured fault was actually placed
+// (the target message may never have been sent).
+func (n *FaultyNetwork) DidInject() bool { return n.injected.Load() }
+
+func (e *faultyEndpoint) Rank() int         { return e.inner.Rank() }
+func (e *faultyEndpoint) Size() int         { return e.inner.Size() }
+func (e *faultyEndpoint) Metrics() *Metrics { return e.inner.Metrics() }
+
+func (e *faultyEndpoint) Send(dst, tag int, payload []byte) error {
+	return e.inner.Send(dst, tag, payload)
+}
+
+func (e *faultyEndpoint) Recv(src, tag int) ([]byte, error) {
+	payload, err := e.inner.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 {
+		seq := e.net.counter.Add(1)
+		if seq == e.net.target {
+			bit := e.net.bit % (8 * len(payload))
+			payload[bit/8] ^= 1 << (bit % 8)
+			e.net.injected.Store(true)
+		}
+	}
+	return payload, nil
+}

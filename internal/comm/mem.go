@@ -1,0 +1,107 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// memNetwork is the in-memory transport: one buffered inbox channel per
+// endpoint. It carries no serialisation overhead and is the default for
+// simulations with hundreds of PEs.
+type memNetwork struct {
+	eps    []*memEndpoint
+	closed chan struct{}
+	once   sync.Once
+}
+
+type memEndpoint struct {
+	net     *memNetwork
+	rank    int
+	inbox   chan Message
+	pending []Message // messages received but not yet matched
+	metrics Metrics
+}
+
+// NewMemNetwork creates an in-memory network of p endpoints. Inboxes are
+// buffered with 2p+16 slots, enough for the direct all-to-all worst case
+// where every PE has one message in flight to every other.
+func NewMemNetwork(p int) Network {
+	if p < 1 {
+		panic("comm: NewMemNetwork requires p >= 1")
+	}
+	n := &memNetwork{
+		eps:    make([]*memEndpoint, p),
+		closed: make(chan struct{}),
+	}
+	for i := range n.eps {
+		n.eps[i] = &memEndpoint{
+			net:   n,
+			rank:  i,
+			inbox: make(chan Message, 2*p+16),
+		}
+	}
+	return n
+}
+
+func (n *memNetwork) Size() int { return len(n.eps) }
+
+func (n *memNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
+
+func (n *memNetwork) Close() error {
+	n.once.Do(func() { close(n.closed) })
+	return nil
+}
+
+func (e *memEndpoint) Rank() int         { return e.rank }
+func (e *memEndpoint) Size() int         { return len(e.net.eps) }
+func (e *memEndpoint) Metrics() *Metrics { return &e.metrics }
+
+func (e *memEndpoint) Send(dst, tag int, payload []byte) error {
+	if err := validRank(dst, e.Size()); err != nil {
+		return err
+	}
+	msg := Message{Src: e.rank, Tag: tag, Payload: payload}
+	target := e.net.eps[dst]
+	select {
+	case target.inbox <- msg:
+		e.metrics.addSent(len(payload))
+		return nil
+	case <-e.net.closed:
+		return ErrClosed
+	}
+}
+
+func (e *memEndpoint) Recv(src, tag int) ([]byte, error) {
+	if err := validRank(src, e.Size()); err != nil {
+		return nil, err
+	}
+	// Check messages parked by earlier mismatched receives.
+	for i, m := range e.pending {
+		if m.Src == src && m.Tag == tag {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.metrics.addRecv(len(m.Payload))
+			return m.Payload, nil
+		}
+	}
+	var timeout <-chan time.Time
+	if RecvTimeout > 0 {
+		t := time.NewTimer(RecvTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		select {
+		case m := <-e.inbox:
+			if m.Src == src && m.Tag == tag {
+				e.metrics.addRecv(len(m.Payload))
+				return m.Payload, nil
+			}
+			e.pending = append(e.pending, m)
+		case <-e.net.closed:
+			return nil, ErrClosed
+		case <-timeout:
+			return nil, fmt.Errorf("comm: PE %d timed out waiting for (src=%d, tag=%d); likely deadlock", e.rank, src, tag)
+		}
+	}
+}

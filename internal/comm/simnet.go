@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SimNetwork wraps a network with the paper's communication cost model
+// (Section 2): sending a message of m bits takes time alpha + beta*m,
+// PEs are single-ported and full-duplex. Each endpoint keeps a virtual
+// clock, advanced by alpha + beta*m on every send; a receive completes
+// no earlier than the sender's departure-plus-transfer time. The
+// resulting per-PE clocks give the modeled communication makespan of an
+// algorithm — wall-clock-noise-free, and meaningful for PE counts far
+// beyond the physical core count (the paper's Fig. 4 runs to 2^12 PEs).
+//
+// Virtual time covers communication only; local computation does not
+// advance clocks unless the caller does so explicitly via AdvanceClock.
+type SimNetwork struct {
+	inner Network
+	eps   []*simEndpoint
+	// AlphaNs is the connection start-up latency in nanoseconds.
+	AlphaNs float64
+	// BetaNsPerByte is the transfer time per byte in nanoseconds.
+	BetaNsPerByte float64
+}
+
+type simEndpoint struct {
+	net   *SimNetwork
+	inner Endpoint
+	clock float64 // virtual nanoseconds; owned by the PE's goroutine
+}
+
+// NewSimNetwork models timing on top of an in-memory network of p PEs.
+// alphaNs and betaNsPerByte follow typical cluster interconnects, e.g.
+// alphaNs=10000 (10 us) and betaNsPerByte=1 (1 GB/s).
+func NewSimNetwork(p int, alphaNs, betaNsPerByte float64) *SimNetwork {
+	n := &SimNetwork{
+		inner:         NewMemNetwork(p),
+		AlphaNs:       alphaNs,
+		BetaNsPerByte: betaNsPerByte,
+	}
+	n.eps = make([]*simEndpoint, p)
+	for i := range n.eps {
+		n.eps[i] = &simEndpoint{net: n, inner: n.inner.Endpoint(i)}
+	}
+	return n
+}
+
+// Size returns the number of PEs.
+func (n *SimNetwork) Size() int { return n.inner.Size() }
+
+// Endpoint returns rank's simulated endpoint.
+func (n *SimNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
+
+// Close tears down the underlying network.
+func (n *SimNetwork) Close() error { return n.inner.Close() }
+
+// VirtualTimeNs returns rank's virtual clock. Only meaningful after the
+// SPMD body has finished (the clock is owned by the PE goroutine while
+// running).
+func (n *SimNetwork) VirtualTimeNs(rank int) float64 { return n.eps[rank].clock }
+
+// MakespanNs returns the maximum virtual clock over all PEs — the
+// modeled completion time of the communication schedule.
+func (n *SimNetwork) MakespanNs() float64 {
+	var max float64
+	for _, ep := range n.eps {
+		if ep.clock > max {
+			max = ep.clock
+		}
+	}
+	return max
+}
+
+// ResetClocks zeroes all virtual clocks (for multi-phase measurements).
+func (n *SimNetwork) ResetClocks() {
+	for _, ep := range n.eps {
+		ep.clock = 0
+	}
+}
+
+// AdvanceClock adds local-computation time to rank's clock, letting
+// harnesses blend measured local work into the model. Must only be
+// called from the PE's own goroutine.
+func (n *SimNetwork) AdvanceClock(rank int, ns float64) {
+	n.eps[rank].clock += ns
+}
+
+func (e *simEndpoint) Rank() int         { return e.inner.Rank() }
+func (e *simEndpoint) Size() int         { return e.inner.Size() }
+func (e *simEndpoint) Metrics() *Metrics { return e.inner.Metrics() }
+
+// header carries the modeled arrival time in front of the payload.
+const simHeader = 8
+
+func (e *simEndpoint) Send(dst, tag int, payload []byte) error {
+	// Single-ported: the sender is busy for alpha + beta*m, after which
+	// the message has fully arrived (telephone model).
+	cost := e.net.AlphaNs + e.net.BetaNsPerByte*float64(len(payload))
+	e.clock += cost
+	buf := make([]byte, simHeader+len(payload))
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(e.clock))
+	copy(buf[simHeader:], payload)
+	return e.inner.Send(dst, tag, buf)
+}
+
+func (e *simEndpoint) Recv(src, tag int) ([]byte, error) {
+	buf, err := e.inner.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < simHeader {
+		return nil, fmt.Errorf("comm: simnet message missing header")
+	}
+	arrival := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	if arrival > e.clock {
+		e.clock = arrival
+	}
+	return buf[simHeader:], nil
+}

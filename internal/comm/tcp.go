@@ -1,0 +1,223 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpNetwork is a full-mesh TCP transport over loopback: one connection
+// per unordered pair of PEs, gob-framed messages, and a reader goroutine
+// per connection feeding the destination inbox. It demonstrates that the
+// framework and checkers are transport-agnostic; the in-memory network
+// remains the default for large simulations.
+type tcpNetwork struct {
+	eps    []*tcpEndpoint
+	closed chan struct{}
+	once   sync.Once
+}
+
+type tcpEndpoint struct {
+	net     *tcpNetwork
+	rank    int
+	inbox   chan Message
+	pending []Message
+	conns   []*tcpConn // indexed by peer rank; nil for self
+	metrics Metrics
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex // serialises writers on this side of the connection
+}
+
+// NewTCPNetwork builds a p-endpoint network over loopback TCP. All
+// listeners and the full connection mesh are established before it
+// returns.
+func NewTCPNetwork(p int) (Network, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: NewTCPNetwork requires p >= 1, got %d", p)
+	}
+	n := &tcpNetwork{
+		eps:    make([]*tcpEndpoint, p),
+		closed: make(chan struct{}),
+	}
+	listeners := make([]net.Listener, p)
+	for i := 0; i < p; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, prev := range listeners[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("comm: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = l
+		n.eps[i] = &tcpEndpoint{
+			net:   n,
+			rank:  i,
+			inbox: make(chan Message, 2*p+16),
+			conns: make([]*tcpConn, p),
+		}
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	// Rank i accepts from every lower rank and dials every higher rank,
+	// so each unordered pair gets exactly one connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*p)
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < i; k++ {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					errs <- fmt.Errorf("comm: rank %d accept: %w", i, err)
+					return
+				}
+				var peer int
+				if err := gob.NewDecoder(conn).Decode(&peer); err != nil {
+					errs <- fmt.Errorf("comm: rank %d handshake: %w", i, err)
+					return
+				}
+				n.attach(i, peer, conn)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := i + 1; j < p; j++ {
+				conn, err := net.DialTimeout("tcp", listeners[j].Addr().String(), 10*time.Second)
+				if err != nil {
+					errs <- fmt.Errorf("comm: rank %d dial %d: %w", i, j, err)
+					return
+				}
+				if err := gob.NewEncoder(conn).Encode(i); err != nil {
+					errs <- fmt.Errorf("comm: rank %d handshake to %d: %w", i, j, err)
+					return
+				}
+				n.attach(i, j, conn)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		n.Close()
+		return nil, err
+	default:
+	}
+	return n, nil
+}
+
+// attach registers conn as rank's side of the link to peer and starts
+// the reader goroutine for inbound messages.
+func (n *tcpNetwork) attach(rank, peer int, conn net.Conn) {
+	ep := n.eps[rank]
+	tc := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
+	ep.conns[peer] = tc
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		dec := gob.NewDecoder(conn)
+		for {
+			var m Message
+			if err := dec.Decode(&m); err != nil {
+				return // connection closed
+			}
+			select {
+			case ep.inbox <- m:
+			case <-n.closed:
+				return
+			}
+		}
+	}()
+}
+
+func (n *tcpNetwork) Size() int               { return len(n.eps) }
+func (n *tcpNetwork) Endpoint(r int) Endpoint { return n.eps[r] }
+
+func (n *tcpNetwork) Close() error {
+	n.once.Do(func() {
+		close(n.closed)
+		for _, ep := range n.eps {
+			for _, tc := range ep.conns {
+				if tc != nil {
+					tc.c.Close()
+				}
+			}
+		}
+	})
+	return nil
+}
+
+func (e *tcpEndpoint) Rank() int         { return e.rank }
+func (e *tcpEndpoint) Size() int         { return len(e.net.eps) }
+func (e *tcpEndpoint) Metrics() *Metrics { return &e.metrics }
+
+func (e *tcpEndpoint) Send(dst, tag int, payload []byte) error {
+	if err := validRank(dst, e.Size()); err != nil {
+		return err
+	}
+	msg := Message{Src: e.rank, Tag: tag, Payload: payload}
+	if dst == e.rank {
+		select {
+		case e.inbox <- msg:
+			e.metrics.addSent(len(payload))
+			return nil
+		case <-e.net.closed:
+			return ErrClosed
+		}
+	}
+	tc := e.conns[dst]
+	tc.mu.Lock()
+	err := tc.enc.Encode(msg)
+	tc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, err)
+	}
+	e.metrics.addSent(len(payload))
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
+	if err := validRank(src, e.Size()); err != nil {
+		return nil, err
+	}
+	for i, m := range e.pending {
+		if m.Src == src && m.Tag == tag {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.metrics.addRecv(len(m.Payload))
+			return m.Payload, nil
+		}
+	}
+	var timeout <-chan time.Time
+	if RecvTimeout > 0 {
+		t := time.NewTimer(RecvTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		select {
+		case m := <-e.inbox:
+			if m.Src == src && m.Tag == tag {
+				e.metrics.addRecv(len(m.Payload))
+				return m.Payload, nil
+			}
+			e.pending = append(e.pending, m)
+		case <-e.net.closed:
+			return nil, ErrClosed
+		case <-timeout:
+			return nil, fmt.Errorf("comm: PE %d timed out waiting for (src=%d, tag=%d); likely deadlock", e.rank, src, tag)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// AvgAssertion is one key of an asserted average aggregation result:
+// the average as an exact rational AvgNum/AvgDen plus the per-key
+// element count certificate (Section 6.1 — the count "naturally arises
+// during computation anyway").
+type AvgAssertion struct {
+	Key    uint64
+	AvgNum uint64
+	AvgDen uint64
+	Count  uint64
+}
+
+// AvgAssertionsFromTriples adapts the output of ops.AverageByKey-style
+// (key, sum, count) triples into assertions with average sum/count.
+func AvgAssertionsFromTriples(ts []data.Triple) []AvgAssertion {
+	out := make([]AvgAssertion, len(ts))
+	for i, t := range ts {
+		den := t.Count
+		if den == 0 {
+			den = 1
+		}
+		out[i] = AvgAssertion{Key: t.Key, AvgNum: t.Value, AvgDen: den, Count: t.Count}
+	}
+	return out
+}
+
+// CheckAvgAgg checks average aggregation (Corollary 8): the asserted
+// averages are undone into sums by multiplying with the certified
+// counts, and a two-lane sum/count check runs against the input — the
+// (key, value, count) triple trick, which also catches matched
+// avg/count rescalings. Both the assertions and the input may be
+// distributed arbitrarily. One-sided error with probability at most
+// cfg.AchievedDelta() per lane pair.
+func CheckAvgAgg(w *dist.Worker, cfg SumConfig, input []data.Pair, asserted []AvgAssertion) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	c := NewSumChecker(cfg, seed)
+
+	// Certificate sanity is deterministic: a correct average in lowest
+	// terms must divide the certified count. An indivisible certificate
+	// cannot belong to a correct result, so rejecting keeps one-sided
+	// error intact.
+	localOK := true
+	sums := make([]data.Pair, 0, len(asserted))
+	counts := make([]data.Pair, 0, len(asserted))
+	for _, a := range asserted {
+		if a.AvgDen == 0 || a.Count%a.AvgDen != 0 {
+			localOK = false
+			continue
+		}
+		reconstructed := a.AvgNum * (a.Count / a.AvgDen) // mod 2^64, consistent with input sums
+		sums = append(sums, data.Pair{Key: a.Key, Value: reconstructed})
+		counts = append(counts, data.Pair{Key: a.Key, Value: a.Count})
+	}
+
+	// Lane 1: reconstructed sums vs input values.
+	tvSum := c.NewTable()
+	c.Accumulate(tvSum, input)
+	toSum := c.NewTable()
+	c.Accumulate(toSum, sums)
+
+	// Lane 2: certified counts vs input multiplicities.
+	tvCnt := c.NewTable()
+	c.AccumulateCount(tvCnt, input)
+	toCnt := c.NewTable()
+	c.Accumulate(toCnt, counts)
+
+	// One reduction for both lanes (concatenated diff tables).
+	c.Normalize(tvSum)
+	c.Normalize(toSum)
+	c.Normalize(tvCnt)
+	c.Normalize(toCnt)
+	diff := append(c.Diff(tvSum, toSum), c.Diff(tvCnt, toCnt)...)
+	op := c.ReduceOp()
+	both := func(dst, src []uint64) {
+		half := len(dst) / 2
+		op(dst[:half], src[:half])
+		op(dst[half:], src[half:])
+	}
+	red, err := w.Coll.Reduce(0, diff, both)
+	if err != nil {
+		return false, err
+	}
+	agreeLocal, err := w.Coll.AllAgree(localOK)
+	if err != nil {
+		return false, err
+	}
+	verdict := uint64(0)
+	if w.Rank() == 0 && allZero(red) {
+		verdict = 1
+	}
+	v, err := w.Coll.BroadcastU64(0, verdict)
+	if err != nil {
+		return false, err
+	}
+	return v == 1 && agreeLocal, nil
+}

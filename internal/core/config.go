@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/hashing"
+)
+
+// SumConfig parameterises the sum aggregation checker of Section 4:
+// Iterations independent instances, each mapping keys into Buckets
+// buckets with values accumulated modulo a random r drawn from
+// (2^RHatLog, 2^(RHatLog+1)]. The paper writes configurations as
+// "#its×d Hashfn m<log2 rhat>", e.g. "5×16 CRC m5".
+type SumConfig struct {
+	// Iterations is the number of independent checker instances run in
+	// parallel (#its).
+	Iterations int
+	// Buckets is the condensed key-space size d (2 <= d << k).
+	Buckets int
+	// RHatLog is log2 of the modulus parameter rhat; the modulus r is
+	// drawn uniformly from rhat+1 .. 2*rhat.
+	RHatLog int
+	// Family is the hash family mapping keys to buckets.
+	Family hashing.Family
+}
+
+// Name renders the paper's configuration syntax, e.g. "4×8 Tab m7".
+func (c SumConfig) Name() string {
+	return fmt.Sprintf("%d×%d %s m%d", c.Iterations, c.Buckets, c.Family.Name, c.RHatLog)
+}
+
+// TableBits is the size of the minireduction result in bits:
+// #its * d * ceil(log2(2*rhat)), the "Table size" column of Table 3.
+func (c SumConfig) TableBits() int {
+	return c.Iterations * c.Buckets * (c.RHatLog + 1)
+}
+
+// AchievedDelta is the failure probability bound (1/rhat + 1/d)^#its of
+// Lemma 2 boosted over the iterations, the "Failure rate" column of
+// Table 3.
+func (c SumConfig) AchievedDelta() float64 {
+	single := 1/math.Exp2(float64(c.RHatLog)) + 1/float64(c.Buckets)
+	return math.Pow(single, float64(c.Iterations))
+}
+
+// Validate reports configuration errors.
+func (c SumConfig) Validate() error {
+	if c.Iterations < 1 {
+		return fmt.Errorf("core: config %s: iterations must be >= 1", c.Name())
+	}
+	if c.Buckets < 2 {
+		return fmt.Errorf("core: config %s: buckets must be >= 2", c.Name())
+	}
+	if c.RHatLog < 1 || c.RHatLog > 62 {
+		return fmt.Errorf("core: config %s: rhat log must be in [1, 62]", c.Name())
+	}
+	if c.Family.New == nil {
+		return fmt.Errorf("core: config: missing hash family")
+	}
+	return nil
+}
+
+// ParseSumConfig parses the paper's configuration syntax
+// "#its×d Hashfn m<log2 rhat>" ("x" is accepted for "×").
+func ParseSumConfig(s string) (SumConfig, error) {
+	fields := strings.Fields(strings.ReplaceAll(s, "×", "x"))
+	if len(fields) != 3 {
+		return SumConfig{}, fmt.Errorf("core: config %q: want \"#itsxd Hashfn m<bits>\"", s)
+	}
+	parts := strings.SplitN(fields[0], "x", 2)
+	if len(parts) != 2 {
+		return SumConfig{}, fmt.Errorf("core: config %q: bad its×d part", s)
+	}
+	its, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return SumConfig{}, fmt.Errorf("core: config %q: %v", s, err)
+	}
+	d, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return SumConfig{}, fmt.Errorf("core: config %q: %v", s, err)
+	}
+	fam, err := hashing.FamilyByName(fields[1])
+	if err != nil {
+		return SumConfig{}, err
+	}
+	if !strings.HasPrefix(fields[2], "m") {
+		return SumConfig{}, fmt.Errorf("core: config %q: modulus must look like m7", s)
+	}
+	m, err := strconv.Atoi(fields[2][1:])
+	if err != nil {
+		return SumConfig{}, fmt.Errorf("core: config %q: %v", s, err)
+	}
+	cfg := SumConfig{Iterations: its, Buckets: d, RHatLog: m, Family: fam}
+	return cfg, cfg.Validate()
+}
+
+// AccuracyConfigs is the first configuration set of Table 3, used for
+// the paper's detection-accuracy experiments (Fig. 3). Each shape is
+// instantiated with the listed hash families.
+func AccuracyConfigs() []SumConfig {
+	type shape struct {
+		its, d, m int
+		families  []hashing.Family
+	}
+	both := []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab}
+	shapes := []shape{
+		{1, 2, 31, both},
+		{1, 4, 31, both},
+		{4, 2, 4, both},
+		{4, 4, 3, both},
+		{4, 4, 5, both},
+		{4, 8, 3, both},
+		{4, 8, 5, both},
+		{4, 8, 7, both},
+	}
+	var out []SumConfig
+	for _, s := range shapes {
+		for _, f := range s.families {
+			out = append(out, SumConfig{Iterations: s.its, Buckets: s.d, RHatLog: s.m, Family: f})
+		}
+	}
+	return out
+}
+
+// ScalingConfigs is the second configuration set of Table 3, used for
+// the weak-scaling experiment (Fig. 4) and the overhead measurements
+// (Table 5).
+func ScalingConfigs() []SumConfig {
+	crc, tab64 := hashing.FamilyCRC, hashing.FamilyTab64
+	return []SumConfig{
+		{Iterations: 5, Buckets: 16, RHatLog: 5, Family: crc},
+		{Iterations: 6, Buckets: 32, RHatLog: 9, Family: crc},
+		{Iterations: 8, Buckets: 16, RHatLog: 15, Family: crc},
+		{Iterations: 4, Buckets: 256, RHatLog: 15, Family: crc},
+		{Iterations: 5, Buckets: 128, RHatLog: 11, Family: tab64},
+		{Iterations: 8, Buckets: 256, RHatLog: 15, Family: tab64},
+		{Iterations: 16, Buckets: 16, RHatLog: 15, Family: tab64},
+	}
+}

@@ -1,0 +1,37 @@
+// Package core implements the paper's contribution: communication
+// efficient probabilistic checkers for big-data operations. All checkers
+// have one-sided error — a correct result is never rejected; an
+// incorrect result is accepted with probability at most delta — and
+// sublinear bottleneck communication volume.
+//
+// Checkers (paper reference in parentheses):
+//
+//   - CheckSumAgg / CheckCountAgg — sum/count aggregation via condensed
+//     reduction to d buckets modulo a random r in (rhat, 2*rhat]
+//     (Section 4, Theorem 1, Algorithm 1).
+//   - CheckAvgAgg — average aggregation with a per-key count certificate
+//     (Section 6.1, Corollary 8).
+//   - CheckMinAgg / CheckMaxAgg — deterministic minimum/maximum checking
+//     with result and witness certificate replicated at all PEs
+//     (Section 6.2, Theorem 9).
+//   - CheckMedianAgg — median aggregation reduced to a zero-sum check
+//     (Section 6.3, Theorem 10, Algorithm 2).
+//   - CheckPermutation — hash-sum fingerprints (Section 5, Lemma 4),
+//     with the polynomial variants CheckPermutationPoly (prime field,
+//     Lemma 5) and CheckPermutationGF (GF(2^64), carry-less).
+//   - CheckSorted — permutation plus local sortedness plus boundary
+//     exchange (Section 5, Theorem 7).
+//   - CheckZip — position-dependent fingerprints (Section 6.4,
+//     Theorem 11).
+//   - CheckUnion / CheckMerge — permutation over multiple inputs
+//     (Section 6.5.1/6.5.2, Corollaries 12 and 13).
+//   - CheckRedistribution — invasive checker for the GroupBy/Join
+//     element redistribution phase (Section 6.5.3/6.5.4, Corollaries 14
+//     and 15).
+//   - CheckReplicated — result-integrity hash comparison for data that
+//     must be identical at all PEs (Section 2, "Result Integrity").
+//
+// Every distributed checker is SPMD: all PEs call it with their local
+// shares, shared randomness is drawn by PE 0 and broadcast, and the
+// returned verdict is identical on every PE.
+package core

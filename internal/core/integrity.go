@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// CheckReplicated verifies that every PE holds the same copy of a
+// replicated sequence (Section 2, "Result Integrity"): each PE hashes
+// its copy with a shared random hash function, PE 0's digest is
+// broadcast, and any mismatch aborts. O(k + alpha*log p).
+func CheckReplicated(w *dist.Worker, words []uint64) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	digest := DigestU64s(words, seed)
+	ref, err := w.Coll.BroadcastU64(0, digest)
+	if err != nil {
+		return false, err
+	}
+	return w.Coll.AllAgree(digest == ref)
+}
+
+// DigestU64s computes a position-sensitive keyed digest of a word
+// sequence: sum of Mix64(seed, position, word) terms. Position
+// sensitivity matters — replicas must agree on order, not just content.
+func DigestU64s(words []uint64, seed uint64) uint64 {
+	key := hashing.Mix64(seed ^ 0x1d1d1d1d1d1d1d1d)
+	var acc uint64
+	for i, wd := range words {
+		acc += hashing.Mix64(wd ^ key ^ hashing.Mix64(uint64(i)+key))
+	}
+	return acc
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// CheckMedianAgg checks median aggregation (Theorem 10, Algorithm 2)
+// under the paper's uniqueness assumption: within each key, values
+// occur at most once (except the asserted median value itself, which an
+// odd-count key necessarily contains). medians2 must hold, for every
+// key, twice the asserted median — the doubling keeps the even-count
+// "mean of the two middle elements" case integral — replicated
+// identically at every PE (verified first via the result-integrity
+// check; pass it sorted by key).
+//
+// The reduction: an asserted median is correct iff the number of
+// smaller elements equals the number of larger elements. Each local
+// element contributes -1 (smaller) or +1 (larger), equal elements
+// contribute nothing, and the per-key sums are verified to be zero by
+// the sum aggregation checker (the asserted side is the all-zero
+// vector, so it costs nothing to accumulate). A local deterministic
+// reject covers input keys missing from the asserted result.
+//
+// For inputs with duplicated values use CheckMedianAggTies, which takes
+// the tie-breaking certificate Theorem 10 requires.
+func CheckMedianAgg(w *dist.Worker, cfg SumConfig, input []data.Pair, medians2 []data.Pair) (bool, error) {
+	return checkMedian(w, cfg, input, medians2, nil)
+}
+
+// TieCert is the tie-breaking certificate of Theorem 10 for one key:
+// among the input elements whose value equals the asserted median,
+// EqLow are ranked below the median slot(s), EqHigh above them, and
+// AtSlot occupy the slot(s) themselves. AtSlot is 1 for odd element
+// counts, 0 or 2 for even ones — the checker rejects anything larger,
+// which bounds how much imbalance a forged certificate can absorb.
+type TieCert struct {
+	EqLow  uint64
+	EqHigh uint64
+	AtSlot uint64
+}
+
+// ComputeTieCert derives the reference certificate for one key from its
+// sorted values and the asserted doubled median. Median algorithms use
+// it to emit certificates alongside their result.
+func ComputeTieCert(sortedValues []uint64, median2 uint64) TieCert {
+	n := len(sortedValues)
+	// Median slot ranks (0-based): odd n -> {n/2}; even -> {n/2-1, n/2}.
+	loSlot, hiSlot := n/2, n/2
+	if n%2 == 0 && n > 0 {
+		loSlot = n/2 - 1
+	}
+	var cert TieCert
+	for i, v := range sortedValues {
+		if 2*v != median2 {
+			continue
+		}
+		switch {
+		case i < loSlot:
+			cert.EqLow++
+		case i > hiSlot:
+			cert.EqHigh++
+		default:
+			cert.AtSlot++
+		}
+	}
+	return cert
+}
+
+// CheckMedianAggTies is CheckMedianAgg extended with tie-breaking
+// certificates (required for every key): the balance condition becomes
+//
+//	#smaller + EqLow == #larger + EqHigh,
+//
+// and a second zero-sum lane verifies the certificate itself:
+//
+//	#equal == EqLow + EqHigh + AtSlot,
+//
+// with the local deterministic check AtSlot <= 2. The certificate must
+// be replicated at all PEs along with the medians.
+func CheckMedianAggTies(w *dist.Worker, cfg SumConfig, input []data.Pair, medians2 []data.Pair, ties map[uint64]TieCert) (bool, error) {
+	if ties == nil {
+		ties = map[uint64]TieCert{}
+	}
+	return checkMedian(w, cfg, input, medians2, ties)
+}
+
+func checkMedian(w *dist.Worker, cfg SumConfig, input []data.Pair, medians2 []data.Pair, ties map[uint64]TieCert) (bool, error) {
+	// Replication integrity of result + certificate, in key order so the
+	// digest is independent of the caller's slice and map ordering.
+	replOK, err := CheckReplicated(w, flattenMedianAssertion(medians2, ties))
+	if err != nil {
+		return false, err
+	}
+
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	c := NewSumChecker(cfg, seed)
+
+	m2 := make(map[uint64]uint64, len(medians2))
+	for _, pr := range medians2 {
+		m2[pr.Key] = pr.Value
+	}
+
+	localOK := true
+	s := make(map[uint64]int64) // balance: #larger - #smaller
+	e := make(map[uint64]int64) // equality: #equal to median
+	for _, pr := range input {
+		m, exists := m2[pr.Key]
+		if !exists {
+			// Key dropped from the result: deterministic reject.
+			localOK = false
+			break
+		}
+		v2 := 2 * pr.Value
+		switch {
+		case v2 < m:
+			s[pr.Key]--
+		case v2 > m:
+			s[pr.Key]++
+		default:
+			e[pr.Key]++
+		}
+	}
+
+	// Balance lane, shifted by the certificate where present:
+	// s[k] + EqHigh - EqLow must be zero for every key.
+	tv := c.NewTable()
+	for k, cnt := range s {
+		c.AccumulateSigned(tv, k, cnt)
+	}
+	blocks := 1
+	if ties != nil {
+		// The certificate is replicated at every PE but must enter the
+		// global sum exactly once: only PE 0 folds it in. The AtSlot
+		// bound is a local deterministic check everywhere.
+		for _, tc := range ties {
+			if tc.AtSlot > 2 {
+				localOK = false
+			}
+		}
+		if w.Rank() == 0 {
+			for k, tc := range ties {
+				c.AccumulateSigned(tv, k, int64(tc.EqHigh)-int64(tc.EqLow))
+			}
+		}
+		// Equality lane: #equal(k) - (EqLow+EqHigh+AtSlot) must be zero.
+		te := c.NewTable()
+		for k, cnt := range e {
+			c.AccumulateSigned(te, k, cnt)
+		}
+		if w.Rank() == 0 {
+			for k, tc := range ties {
+				c.AccumulateSigned(te, k, -int64(tc.EqLow+tc.EqHigh+tc.AtSlot))
+			}
+		}
+		tv = append(tv, te...)
+		blocks = 2
+	}
+
+	op := c.ReduceOp()
+	multi := func(dst, src []uint64) {
+		words := c.TableWords()
+		for b := 0; b < blocks; b++ {
+			op(dst[b*words:(b+1)*words], src[b*words:(b+1)*words])
+		}
+	}
+	c.normalizeBlocks(tv, blocks)
+	red, err := w.Coll.Reduce(0, tv, multi)
+	if err != nil {
+		return false, err
+	}
+	verdict := uint64(0)
+	if w.Rank() == 0 && allZero(red) {
+		verdict = 1
+	}
+	v, err := w.Coll.BroadcastU64(0, verdict)
+	if err != nil {
+		return false, err
+	}
+	agree, err := w.Coll.AllAgree(localOK)
+	if err != nil {
+		return false, err
+	}
+	return v == 1 && agree && replOK, nil
+}
+
+// normalizeBlocks normalizes a table consisting of `blocks` consecutive
+// checker tables.
+func (c *SumChecker) normalizeBlocks(t []uint64, blocks int) {
+	words := c.TableWords()
+	for b := 0; b < blocks; b++ {
+		c.Normalize(t[b*words : (b+1)*words])
+	}
+}
+
+// flattenMedianAssertion encodes medians and tie certificates in key
+// order for the replication digest.
+func flattenMedianAssertion(medians2 []data.Pair, ties map[uint64]TieCert) []uint64 {
+	ms := data.ClonePairs(medians2)
+	data.SortPairsByKey(ms)
+	flat := make([]uint64, 0, 2*len(ms)+4*len(ties))
+	for _, pr := range ms {
+		flat = append(flat, pr.Key, pr.Value)
+	}
+	if len(ties) > 0 {
+		keys := make([]uint64, 0, len(ties))
+		for k := range ties {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			tc := ties[k]
+			flat = append(flat, k, tc.EqLow, tc.EqHigh, tc.AtSlot)
+		}
+	}
+	return flat
+}

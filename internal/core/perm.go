@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// PermConfig parameterises the hash-sum permutation checker of Lemma 4:
+// Iterations independent random hash functions from Family, each summed
+// modulo H = 2^LogH. A single iteration misses a non-permutation with
+// probability about 1/H; iterations multiply.
+type PermConfig struct {
+	// Family provides the random hash functions.
+	Family hashing.Family
+	// LogH is the number of hash output bits used (the paper's Fig. 5
+	// sweeps this from 1 to 8).
+	LogH int
+	// Iterations boosts confidence: delta = 2^(-LogH*Iterations).
+	Iterations int
+}
+
+// Name renders the Fig. 5 configuration syntax, e.g. "CRC 4".
+func (c PermConfig) Name() string {
+	return fmt.Sprintf("%s %d", c.Family.Name, c.LogH)
+}
+
+// Delta is the per-checker failure bound H^-Iterations.
+func (c PermConfig) Delta() float64 {
+	d := 1.0
+	for i := 0; i < c.Iterations; i++ {
+		d /= float64(uint64(1) << c.LogH)
+	}
+	return d
+}
+
+// Validate reports configuration errors.
+func (c PermConfig) Validate() error {
+	if c.LogH < 1 || c.LogH > 64 {
+		return fmt.Errorf("core: perm config: LogH must be in [1, 64]")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("core: perm config: iterations must be >= 1")
+	}
+	if c.Family.New == nil {
+		return fmt.Errorf("core: perm config: missing hash family")
+	}
+	if c.LogH > c.Family.Bits {
+		return fmt.Errorf("core: perm config: LogH %d exceeds family output bits %d", c.LogH, c.Family.Bits)
+	}
+	return nil
+}
+
+// PermChecker computes truncated hash-sum fingerprints. Like
+// SumChecker, every PE builds an identical instance from the shared
+// seed; instances are not safe for concurrent use.
+type PermChecker struct {
+	cfg     PermConfig
+	hashers []hashing.Hasher
+	mask    uint64
+}
+
+// NewPermChecker derives a checker instance from cfg and a shared seed.
+func NewPermChecker(cfg PermConfig, seed uint64) *PermChecker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	seeds := hashing.SubSeeds(seed^0x9e37c0ffee37c0ff, cfg.Iterations)
+	hs := make([]hashing.Hasher, len(seeds))
+	for i, s := range seeds {
+		hs[i] = cfg.Family.New(s)
+	}
+	mask := ^uint64(0)
+	if cfg.LogH < 64 {
+		mask = (uint64(1) << cfg.LogH) - 1
+	}
+	return &PermChecker{cfg: cfg, hashers: hs, mask: mask}
+}
+
+// Config returns the checker's configuration.
+func (c *PermChecker) Config() PermConfig { return c.cfg }
+
+// LocalSums returns the per-iteration sums of truncated hash values of
+// xs. Sums are accumulated in 64-bit words; because H is a power of
+// two, wraparound addition stays congruent modulo H.
+func (c *PermChecker) LocalSums(xs []uint64) []uint64 {
+	sums := make([]uint64, c.cfg.Iterations)
+	c.AccumulateInto(sums, xs, false)
+	return sums
+}
+
+// AccumulateInto adds (or, with negate, subtracts) the truncated hash
+// values of xs into sums, one slot per iteration.
+func (c *PermChecker) AccumulateInto(sums []uint64, xs []uint64, negate bool) {
+	for it, h := range c.hashers {
+		var acc uint64
+		for _, x := range xs {
+			acc += h.Hash64(x) & c.mask
+		}
+		if negate {
+			sums[it] -= acc
+		} else {
+			sums[it] += acc
+		}
+	}
+}
+
+// finishPerm masks the lambda values and all-reduces the verdict.
+func (c *PermChecker) finishPerm(w *dist.Worker, lambda []uint64) (bool, error) {
+	red, err := w.Coll.AllReduce(lambda, func(dst, src []uint64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	for _, v := range red {
+		if v&c.mask != 0 {
+			ok = false
+		}
+	}
+	// All PEs computed the same reduction; AllAgree also catches any
+	// replication divergence defensively.
+	return w.Coll.AllAgree(ok)
+}
+
+// CheckPermutation checks that the distributed sequence output is a
+// permutation of the distributed sequence input (Lemma 4): lambda =
+// sum(h(e)) - sum(h(o)) mod H must be zero. Running time
+// O(n/p + beta*logH*its + alpha*log p) — Theorem 6.
+func CheckPermutation(w *dist.Worker, cfg PermConfig, input, output []uint64) (bool, error) {
+	return CheckPermutationMulti(w, cfg, [][]uint64{input}, output)
+}
+
+// CheckPermutationMulti checks that output is a permutation of the
+// concatenation of several input sequences — directly yielding the
+// Union checker of Corollary 12.
+func CheckPermutationMulti(w *dist.Worker, cfg PermConfig, inputs [][]uint64, output []uint64) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	c := NewPermChecker(cfg, seed)
+	lambda := make([]uint64, cfg.Iterations)
+	for _, in := range inputs {
+		c.AccumulateInto(lambda, in, false)
+	}
+	c.AccumulateInto(lambda, output, true)
+	return c.finishPerm(w, lambda)
+}
+
+// CheckUnion checks Union(s1, s2) = out as a permutation of the
+// concatenation of s1 and s2 (Corollary 12).
+func CheckUnion(w *dist.Worker, cfg PermConfig, s1, s2, out []uint64) (bool, error) {
+	return CheckPermutationMulti(w, cfg, [][]uint64{s1, s2}, out)
+}
+
+// PermCheckLocalWork exposes the local fingerprinting step in isolation
+// for the Section 7.2 overhead measurements (no communication).
+func PermCheckLocalWork(c *PermChecker, input, output []uint64) []uint64 {
+	lambda := make([]uint64, c.cfg.Iterations)
+	c.AccumulateInto(lambda, input, false)
+	c.AccumulateInto(lambda, output, true)
+	return lambda
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/workload"
+)
+
+func shardU64(xs []uint64, p, r int) []uint64 {
+	s, e := data.SplitEven(len(xs), p, r)
+	return xs[s:e]
+}
+
+var permCfg = PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 1}
+
+// shuffled returns a deterministic permutation of xs.
+func shuffled(xs []uint64, seed uint64) []uint64 {
+	out := data.CloneU64s(xs)
+	rng := hashing.NewMT19937_64(seed)
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(rng.Uint64n(uint64(i + 1)))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func TestPermCheckerAcceptsPermutation(t *testing.T) {
+	input := workload.UniformU64s(4000, 1e8, 1)
+	output := shuffled(input, 42)
+	for _, p := range []int{1, 2, 4, 7} {
+		for seed := uint64(0); seed < 5; seed++ {
+			err := dist.Run(p, seed, func(w *dist.Worker) error {
+				ok, err := CheckPermutation(w, permCfg, shardU64(input, p, w.Rank()), shardU64(output, p, w.Rank()))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					t.Errorf("p=%d seed=%d: permutation rejected", p, seed)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestPermCheckerAcceptsWithDuplicates(t *testing.T) {
+	input := make([]uint64, 1000)
+	for i := range input {
+		input[i] = uint64(i % 10)
+	}
+	output := shuffled(input, 7)
+	err := dist.Run(4, 3, func(w *dist.Worker) error {
+		ok, err := CheckPermutation(w, permCfg, shardU64(input, 4, w.Rank()), shardU64(output, 4, w.Rank()))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Error("duplicate-heavy permutation rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermCheckerDetectsChangedElement(t *testing.T) {
+	input := workload.UniformU64s(2000, 1e8, 2)
+	detected := 0
+	const trials = 100
+	for seed := uint64(0); seed < trials; seed++ {
+		bad := shuffled(input, seed)
+		bad[int(seed)%len(bad)] ^= 1 << (seed % 27)
+		err := dist.Run(3, seed, func(w *dist.Worker) error {
+			ok, err := CheckPermutation(w, permCfg, shardU64(input, 3, w.Rank()), shardU64(bad, 3, w.Rank()))
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && !ok {
+				detected++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if detected < trials-2 { // delta = 2^-32
+		t.Fatalf("only %d of %d manipulations detected", detected, trials)
+	}
+}
+
+func TestPermCheckerTruncatedFailureRate(t *testing.T) {
+	// With LogH = 2, a manipulation escapes with probability about
+	// 1/4. Check the empirical rate is in a sane band (this is the
+	// Fig. 5 mechanism in miniature).
+	cfg := PermConfig{Family: hashing.FamilyTab, LogH: 2, Iterations: 1}
+	input := workload.UniformU64s(500, 1e8, 3)
+	missed := 0
+	const trials = 600
+	for seed := uint64(0); seed < trials; seed++ {
+		bad := data.CloneU64s(input)
+		bad[int(seed)%len(bad)] = hashing.Mix64(seed) % 1e8
+		err := dist.Run(2, seed, func(w *dist.Worker) error {
+			ok, err := CheckPermutation(w, cfg, shardU64(input, 2, w.Rank()), shardU64(bad, 2, w.Rank()))
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && ok {
+				missed++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate := float64(missed) / trials
+	if rate < 0.12 || rate > 0.40 {
+		t.Fatalf("miss rate %.3f outside [0.12, 0.40] for delta=0.25", rate)
+	}
+}
+
+func TestPermCheckerIterationsBoost(t *testing.T) {
+	// LogH=1 with 8 iterations should miss far less often than with 1.
+	cfgWeak := PermConfig{Family: hashing.FamilyTab, LogH: 1, Iterations: 1}
+	cfgBoost := PermConfig{Family: hashing.FamilyTab, LogH: 1, Iterations: 8}
+	input := workload.UniformU64s(300, 1e8, 4)
+	missWeak, missBoost := 0, 0
+	const trials = 300
+	for seed := uint64(0); seed < trials; seed++ {
+		bad := data.CloneU64s(input)
+		bad[int(seed)%len(bad)]++
+		for _, mode := range []struct {
+			cfg  PermConfig
+			miss *int
+		}{{cfgWeak, &missWeak}, {cfgBoost, &missBoost}} {
+			mode := mode
+			err := dist.Run(2, seed, func(w *dist.Worker) error {
+				ok, err := CheckPermutation(w, mode.cfg, shardU64(input, 2, w.Rank()), shardU64(bad, 2, w.Rank()))
+				if err != nil {
+					return err
+				}
+				if w.Rank() == 0 && ok {
+					*mode.miss++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if missWeak < trials/4 {
+		t.Fatalf("LogH=1 missed only %d of %d; expected about half", missWeak, trials)
+	}
+	if missBoost > trials/20 {
+		t.Fatalf("8 iterations missed %d of %d; expected almost none", missBoost, trials)
+	}
+}
+
+func TestPermConfigDeltaAndValidate(t *testing.T) {
+	cfg := PermConfig{Family: hashing.FamilyTab, LogH: 4, Iterations: 2}
+	if d := cfg.Delta(); d != 1.0/256 {
+		t.Errorf("Delta = %g, want 1/256", d)
+	}
+	bad := []PermConfig{
+		{Family: hashing.FamilyTab, LogH: 0, Iterations: 1},
+		{Family: hashing.FamilyTab, LogH: 33, Iterations: 1}, // Tab is 32-bit
+		{Family: hashing.FamilyTab, LogH: 4, Iterations: 0},
+		{LogH: 4, Iterations: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if cfg.Name() != "Tab 4" {
+		t.Errorf("Name = %q", cfg.Name())
+	}
+}
+
+func TestPolyPermChecker(t *testing.T) {
+	input := workload.UniformU64s(1000, 1e8, 5)
+	output := shuffled(input, 9)
+	err := dist.Run(4, 1, func(w *dist.Worker) error {
+		ok, err := CheckPermutationPoly(w, PolyPermConfig{Iterations: 2}, shardU64(input, 4, w.Rank()), shardU64(output, 4, w.Rank()))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Error("poly checker rejected a permutation")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection.
+	detected := 0
+	for seed := uint64(0); seed < 40; seed++ {
+		bad := shuffled(input, seed)
+		bad[3] += 1
+		err := dist.Run(2, seed, func(w *dist.Worker) error {
+			ok, err := CheckPermutationPoly(w, PolyPermConfig{Iterations: 1}, shardU64(input, 2, w.Rank()), shardU64(bad, 2, w.Rank()))
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && !ok {
+				detected++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if detected != 40 {
+		t.Fatalf("poly checker detected %d of 40", detected)
+	}
+}
+
+func TestPolyPermCheckerUniverseGuard(t *testing.T) {
+	err := dist.Run(2, 1, func(w *dist.Worker) error {
+		_, err := CheckPermutationPoly(w, PolyPermConfig{Iterations: 1}, []uint64{^uint64(0)}, []uint64{^uint64(0)})
+		if err == nil {
+			t.Error("expected universe violation error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFPermChecker(t *testing.T) {
+	// Full 64-bit universe is fine for the GF variant.
+	input := []uint64{^uint64(0), 0, 1 << 63, 12345, ^uint64(0) - 7}
+	output := shuffled(input, 3)
+	err := dist.Run(3, 1, func(w *dist.Worker) error {
+		ok, err := CheckPermutationGF(w, 2, shardU64(input, 3, w.Rank()), shardU64(output, 3, w.Rank()))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Error("GF checker rejected a permutation")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for seed := uint64(0); seed < 40; seed++ {
+		bad := data.CloneU64s(input)
+		bad[int(seed)%len(bad)] ^= 2
+		err := dist.Run(2, seed, func(w *dist.Worker) error {
+			ok, err := CheckPermutationGF(w, 1, shardU64(input, 2, w.Rank()), shardU64(bad, 2, w.Rank()))
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && !ok {
+				detected++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if detected != 40 {
+		t.Fatalf("GF checker detected %d of 40", detected)
+	}
+}
+
+func TestUnionChecker(t *testing.T) {
+	a := workload.UniformU64s(800, 1e8, 6)
+	b := workload.UniformU64s(1200, 1e8, 7)
+	out := shuffled(append(data.CloneU64s(a), b...), 11)
+	err := dist.Run(4, 1, func(w *dist.Worker) error {
+		ok, err := CheckUnion(w, permCfg, shardU64(a, 4, w.Rank()), shardU64(b, 4, w.Rank()), shardU64(out, 4, w.Rank()))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Error("correct union rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A union that loses one element must be caught.
+	detected := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		bad := shuffled(append(data.CloneU64s(a), b...), seed)[1:]
+		err := dist.Run(2, seed, func(w *dist.Worker) error {
+			ok, err := CheckUnion(w, permCfg, shardU64(a, 2, w.Rank()), shardU64(b, 2, w.Rank()), shardU64(bad, 2, w.Rank()))
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && !ok {
+				detected++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if detected < 49 {
+		t.Fatalf("lost element detected only %d of 50 times", detected)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// Polynomial permutation checkers (Lemma 5): q(z) = prod(z - e_i) -
+// prod(z - o_i) mod r for a prime r and random evaluation points z.
+// Unlike the hash-sum checker, this needs no trusted hash function —
+// only a source of random evaluation points.
+
+// PolyPermConfig parameterises the prime-field polynomial checker.
+type PolyPermConfig struct {
+	// Iterations is the number of independent evaluation points; the
+	// failure bound n/r multiplies per iteration.
+	Iterations int
+}
+
+// CheckPermutationPoly checks the permutation property over the prime
+// field F_r with r = 2^61 - 1 (a Mersenne prime, for fast reduction).
+// Elements must lie in 0..r-1 — Lemma 5 requires the prime to exceed
+// the universe so that distinct elements stay distinct modulo r. The
+// failure bound is (n/r)^Iterations for n total elements.
+func CheckPermutationPoly(w *dist.Worker, cfg PolyPermConfig, input, output []uint64) (bool, error) {
+	if cfg.Iterations < 1 {
+		return false, fmt.Errorf("core: poly perm checker: iterations must be >= 1")
+	}
+	const r = hashing.Mersenne61
+	// Universe validation is local; agree on it collectively so every
+	// PE takes the same branch (returning early on one PE only would
+	// deadlock the others in the collectives below).
+	localValid := true
+	for _, x := range input {
+		if x >= r {
+			localValid = false
+		}
+	}
+	for _, x := range output {
+		if x >= r {
+			localValid = false
+		}
+	}
+	valid, err := w.Coll.AllAgree(localValid)
+	if err != nil {
+		return false, err
+	}
+	if !valid {
+		return false, fmt.Errorf("core: poly perm checker: elements outside universe 0..2^61-2 (Lemma 5 requires the prime to exceed the universe)")
+	}
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	rng := hashing.NewMT19937_64(hashing.Mix64(seed ^ 0x9071e57a9071e57a))
+	ok := true
+	// Batch the per-iteration products into one reduction.
+	prods := make([]uint64, 2*cfg.Iterations)
+	for it := 0; it < cfg.Iterations; it++ {
+		z := rng.Uint64n(r)
+		pIn, pOut := uint64(1), uint64(1)
+		for _, e := range input {
+			pIn = hashing.MulMod61(pIn, hashing.SubMod61(z, e))
+		}
+		for _, o := range output {
+			pOut = hashing.MulMod61(pOut, hashing.SubMod61(z, o))
+		}
+		prods[2*it] = pIn
+		prods[2*it+1] = pOut
+	}
+	red, err := w.Coll.AllReduce(prods, func(dst, src []uint64) {
+		for i := range dst {
+			dst[i] = hashing.MulMod61(dst[i], src[i])
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		if red[2*it] != red[2*it+1] {
+			ok = false
+		}
+	}
+	return w.Coll.AllAgree(ok)
+}
+
+// CheckPermutationGF checks the permutation property in GF(2^64) with
+// carry-less multiplication (the Section 5 optimisation referencing
+// Galois-field SIMD arithmetic): q(z) = prod(z xor e_i) over the full
+// 64-bit universe, no universe restriction. Failure bound about
+// (n/2^64)^Iterations.
+func CheckPermutationGF(w *dist.Worker, iterations int, input, output []uint64) (bool, error) {
+	if iterations < 1 {
+		return false, fmt.Errorf("core: GF perm checker: iterations must be >= 1")
+	}
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	rng := hashing.NewMT19937_64(hashing.Mix64(seed ^ 0x6f2a6f2a6f2a6f2a))
+	prods := make([]uint64, 2*iterations)
+	for it := 0; it < iterations; it++ {
+		z := rng.Uint64()
+		pIn, pOut := uint64(1), uint64(1)
+		for _, e := range input {
+			pIn = hashing.GF64Mul(pIn, z^e)
+		}
+		for _, o := range output {
+			pOut = hashing.GF64Mul(pOut, z^o)
+		}
+		prods[2*it] = pIn
+		prods[2*it+1] = pOut
+	}
+	red, err := w.Coll.AllReduce(prods, func(dst, src []uint64) {
+		for i := range dst {
+			dst[i] = hashing.GF64Mul(dst[i], src[i])
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	for it := 0; it < iterations; it++ {
+		if red[2*it] != red[2*it+1] {
+			ok = false
+		}
+	}
+	return w.Coll.AllAgree(ok)
+}

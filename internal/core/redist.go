@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// KeyLocator reports which PE is responsible for a key — the contract
+// of the redistribution phase of GroupBy and hash Join. ops.Partitioner
+// satisfies it.
+type KeyLocator interface {
+	PE(key uint64) int
+}
+
+// CheckRedistribution is the invasive checker for the element
+// redistribution phase of GroupBy (Corollary 14) and, applied to each
+// relation, of hash Join (Corollary 15). It verifies that the pairs
+// after the exchange are
+//
+//  1. a permutation of the pairs before the exchange (hash-sum
+//     fingerprint over pair digests, as in the sort checker whose order
+//     is induced by the key-to-PE hash), and
+//  2. correctly placed: every received pair's key belongs to this PE
+//     under the locator, which pins the hash-induced global order.
+//
+// The group/join function applied afterwards must be checked by a local
+// checker, which the paper scopes out.
+func CheckRedistribution(w *dist.Worker, cfg PermConfig, loc KeyLocator, before, after []data.Pair) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	// Fold pairs into single words with independently keyed mixers so
+	// the permutation fingerprint ranges over whole pairs.
+	foldSeed := hashing.SubSeeds(seed^0x4ed154ed154ed151, 2)
+	fold := func(ps []data.Pair) []uint64 {
+		out := make([]uint64, len(ps))
+		for i, pr := range ps {
+			out[i] = hashing.Mix64(pr.Key^foldSeed[0]) + hashing.Mix64(pr.Value^foldSeed[1])
+		}
+		return out
+	}
+	perm, err := CheckPermutation(w, cfg, fold(before), fold(after))
+	if err != nil {
+		return false, err
+	}
+	placed := true
+	for _, pr := range after {
+		if loc.PE(pr.Key) != w.Rank() {
+			placed = false
+			break
+		}
+	}
+	agree, err := w.Coll.AllAgree(placed)
+	if err != nil {
+		return false, err
+	}
+	return perm && agree, nil
+}
+
+// CheckJoinRedistribution checks the redistribution phase of a hash
+// join on two relations (Corollary 15): each relation's movement is
+// verified as in CheckRedistribution, and because both use the same
+// locator the key partition is consistent across relations — the
+// hash-join analogue of the paper's boundary-key exchange for
+// sort-merge joins.
+func CheckJoinRedistribution(w *dist.Worker, cfg PermConfig, loc KeyLocator, leftBefore, leftAfter, rightBefore, rightAfter []data.Pair) (bool, error) {
+	okL, err := CheckRedistribution(w, cfg, loc, leftBefore, leftAfter)
+	if err != nil {
+		return false, err
+	}
+	okR, err := CheckRedistribution(w, cfg, loc, rightBefore, rightAfter)
+	if err != nil {
+		return false, err
+	}
+	return okL && okR, nil
+}

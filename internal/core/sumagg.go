@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// SumChecker is one instantiation of the sum aggregation checker
+// (Algorithm 1): a condensed reduction of (key, value) pairs into
+// Iterations × Buckets counters, each accumulated modulo a per-iteration
+// random modulus r in (rhat, 2*rhat].
+//
+// Engineering follows Section 7.1: all iterations share one wide hash
+// evaluation that is partitioned bit-parallel into bucket indices (for
+// power-of-two d), and counters are plain 64-bit adds with the expensive
+// modulo performed only when an addition overflows.
+//
+// A SumChecker is not safe for concurrent use; every PE builds its own
+// from the shared seed, which yields identical hash functions and moduli
+// everywhere.
+type SumChecker struct {
+	cfg     SumConfig
+	mods    []uint64 // modulus r per iteration
+	pow64   []uint64 // 2^64 mod r per iteration, the overflow correction
+	hashers []hashing.Hasher
+	split   hashing.Splitter
+	pow2    bool
+	hbuf    []uint64 // scratch hash values for the current element
+}
+
+// NewSumChecker derives a checker instance from cfg and a shared seed.
+func NewSumChecker(cfg SumConfig, seed uint64) *SumChecker {
+	return newSumChecker(cfg, seed, false)
+}
+
+// newSumChecker optionally disables the Section 7.1 bit-parallel path
+// (one hash evaluation feeding all iterations) so the ablation
+// benchmarks can quantify what that optimisation buys.
+func newSumChecker(cfg SumConfig, seed uint64, forceGeneral bool) *SumChecker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &SumChecker{cfg: cfg}
+	rng := hashing.NewMT19937_64(hashing.Mix64(seed ^ 0xc0dec0dec0dec0de))
+	rhat := uint64(1) << cfg.RHatLog
+	c.mods = make([]uint64, cfg.Iterations)
+	c.pow64 = make([]uint64, cfg.Iterations)
+	for i := range c.mods {
+		// r uniform in rhat+1 .. 2*rhat.
+		r := rhat + 1 + rng.Uint64n(rhat)
+		c.mods[i] = r
+		c.pow64[i] = (((1 << 63) % r) * 2) % r
+	}
+	c.pow2 = hashing.IsPow2(cfg.Buckets) && !forceGeneral
+	if c.pow2 {
+		c.split = hashing.NewSplitter(cfg.Buckets, cfg.Iterations, cfg.Family.Bits)
+		seeds := hashing.SubSeeds(seed^0x5eed5eed5eed5eed, c.split.HashesNeeded())
+		c.hashers = make([]hashing.Hasher, len(seeds))
+		for i, s := range seeds {
+			c.hashers[i] = cfg.Family.New(s)
+		}
+		c.hbuf = make([]uint64, len(c.hashers))
+	} else {
+		// General d: one independent hash per iteration, bucket = h mod d.
+		seeds := hashing.SubSeeds(seed^0x5eed5eed5eed5eed, cfg.Iterations)
+		c.hashers = make([]hashing.Hasher, len(seeds))
+		for i, s := range seeds {
+			c.hashers[i] = cfg.Family.New(s)
+		}
+	}
+	return c
+}
+
+// Config returns the checker's configuration.
+func (c *SumChecker) Config() SumConfig { return c.cfg }
+
+// TableWords is the number of 64-bit counters (#its * d).
+func (c *SumChecker) TableWords() int { return c.cfg.Iterations * c.cfg.Buckets }
+
+// NewTable allocates a zeroed counter table.
+func (c *SumChecker) NewTable() []uint64 { return make([]uint64, c.TableWords()) }
+
+// add accumulates v into counter idx of iteration it, deferring the
+// modulo to overflow events: the counter always stays congruent to the
+// true partial sum modulo r while fitting in a word.
+func (c *SumChecker) add(table []uint64, idx, it int, v uint64) {
+	sum, carry := bits.Add64(table[idx], v, 0)
+	if carry != 0 {
+		// The wrapped value lost 2^64; fold it back in mod r. The
+		// result is < 2r <= 2^63, so subsequent adds stay safe.
+		r := c.mods[it]
+		sum = sum%r + c.pow64[it]
+	}
+	table[idx] = sum
+}
+
+// bucketOf returns the bucket of key in iteration it, using the hash
+// values prepared in c.hbuf for the bit-parallel path.
+func (c *SumChecker) prepare(key uint64) {
+	if c.pow2 {
+		for j := range c.hashers {
+			c.hbuf[j] = c.hashers[j].Hash64(key)
+		}
+	}
+}
+
+func (c *SumChecker) bucketOf(key uint64, it int) int {
+	if c.pow2 {
+		return int(c.split.Group(c.hbuf, it))
+	}
+	return int(c.hashers[it].Hash64(key) % uint64(c.cfg.Buckets))
+}
+
+// Accumulate folds pairs into the table (the cRed inner loop of
+// Algorithm 1).
+func (c *SumChecker) Accumulate(table []uint64, pairs []data.Pair) {
+	if c.pow2 && len(c.hashers) == 1 {
+		// Fast path for every practical configuration (Section 7.1:
+		// "evaluating a single hash function suffices in all
+		// practically relevant configurations"): one hash evaluation
+		// per element, bucket bits peeled off iteration by iteration,
+		// modulo deferred to overflow events.
+		c.accumulateSingleHash(table, pairs)
+		return
+	}
+	d := c.cfg.Buckets
+	for i := range pairs {
+		key, v := pairs[i].Key, pairs[i].Value
+		c.prepare(key)
+		for it := 0; it < c.cfg.Iterations; it++ {
+			c.add(table, it*d+c.bucketOf(key, it), it, v)
+		}
+	}
+}
+
+func (c *SumChecker) accumulateSingleHash(table []uint64, pairs []data.Pair) {
+	d := c.cfg.Buckets
+	its := c.cfg.Iterations
+	width := c.split.Width()
+	mask := uint64(d - 1)
+	hasher := c.hashers[0]
+	mods, pow64 := c.mods, c.pow64
+	for i := range pairs {
+		key, v := pairs[i].Key, pairs[i].Value
+		h := hasher.Hash64(key)
+		base := 0
+		for it := 0; it < its; it++ {
+			idx := base + int(h&mask)
+			h >>= width
+			base += d
+			sum, carry := bits.Add64(table[idx], v, 0)
+			if carry != 0 {
+				r := mods[it]
+				sum = sum%r + pow64[it]
+			}
+			table[idx] = sum
+		}
+	}
+}
+
+// AccumulateCount folds pairs into the table counting 1 per pair,
+// regardless of values (count aggregation: "sum aggregation where the
+// value of every element is mapped to 1", Section 4).
+func (c *SumChecker) AccumulateCount(table []uint64, pairs []data.Pair) {
+	d := c.cfg.Buckets
+	for i := range pairs {
+		key := pairs[i].Key
+		c.prepare(key)
+		for it := 0; it < c.cfg.Iterations; it++ {
+			c.add(table, it*d+c.bucketOf(key, it), it, 1)
+		}
+	}
+}
+
+// AccumulateSigned folds a signed per-key contribution into the table
+// (used by the median checker's ±1 mapping). The signed count is
+// reduced into each iteration's residue ring first.
+func (c *SumChecker) AccumulateSigned(table []uint64, key uint64, count int64) {
+	d := c.cfg.Buckets
+	c.prepare(key)
+	for it := 0; it < c.cfg.Iterations; it++ {
+		r := c.mods[it]
+		var v uint64
+		if count >= 0 {
+			v = uint64(count) % r
+		} else {
+			v = r - uint64(-count)%r
+			if v == r {
+				v = 0
+			}
+		}
+		c.add(table, it*d+c.bucketOf(key, it), it, v)
+	}
+}
+
+// Normalize reduces every counter into canonical form (< r).
+func (c *SumChecker) Normalize(table []uint64) {
+	d := c.cfg.Buckets
+	for it := 0; it < c.cfg.Iterations; it++ {
+		r := c.mods[it]
+		for b := 0; b < d; b++ {
+			table[it*d+b] %= r
+		}
+	}
+}
+
+// Diff returns (a - b) mod r entry-wise; both tables must be normalized.
+func (c *SumChecker) Diff(a, b []uint64) []uint64 {
+	d := c.cfg.Buckets
+	out := make([]uint64, len(a))
+	for it := 0; it < c.cfg.Iterations; it++ {
+		r := c.mods[it]
+		for i := it * d; i < (it+1)*d; i++ {
+			if a[i] >= b[i] {
+				out[i] = a[i] - b[i]
+			} else {
+				out[i] = a[i] + r - b[i]
+			}
+		}
+	}
+	return out
+}
+
+// ReduceOp returns the vector addition mod r (per iteration block) used
+// to combine tables across PEs.
+func (c *SumChecker) ReduceOp() func(dst, src []uint64) {
+	its, d, mods := c.cfg.Iterations, c.cfg.Buckets, c.mods
+	return func(dst, src []uint64) {
+		for it := 0; it < its; it++ {
+			r := mods[it]
+			for i := it * d; i < (it+1)*d; i++ {
+				s := dst[i] + src[i] // both < r <= 2^63: no overflow
+				if s >= r {
+					s -= r
+				}
+				dst[i] = s
+			}
+		}
+	}
+}
+
+// allZero reports whether every counter is zero.
+func allZero(table []uint64) bool {
+	for _, v := range table {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTablesMatch reduces the normalized difference of the two local
+// tables to PE 0, tests it against zero there, and broadcasts the
+// verdict. Communication: #its * d * ceil(log 2rhat) bits up the
+// binomial tree plus a one-word verdict broadcast —
+// O(beta*d*log(rhat) + alpha*log p), per Lemma 3.
+func checkTablesMatch(w *dist.Worker, c *SumChecker, tv, to []uint64) (bool, error) {
+	c.Normalize(tv)
+	c.Normalize(to)
+	diff := c.Diff(tv, to)
+	red, err := w.Coll.Reduce(0, diff, c.ReduceOp())
+	if err != nil {
+		return false, err
+	}
+	verdict := uint64(0)
+	if w.Rank() == 0 && allZero(red) {
+		verdict = 1
+	}
+	v, err := w.Coll.BroadcastU64(0, verdict)
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}
+
+// CheckSumAgg checks that output is the correct sum aggregation of
+// input (Theorem 1). input is this PE's share of the aggregation input;
+// output is this PE's share of the asserted result (one pair per key,
+// any distribution). The verdict is identical on all PEs. A correct
+// result is always accepted; an incorrect one is accepted with
+// probability at most cfg.AchievedDelta().
+func CheckSumAgg(w *dist.Worker, cfg SumConfig, input, output []data.Pair) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	c := NewSumChecker(cfg, seed)
+	tv := c.NewTable()
+	c.Accumulate(tv, input)
+	to := c.NewTable()
+	c.Accumulate(to, output)
+	return checkTablesMatch(w, c, tv, to)
+}
+
+// CheckCountAgg checks count aggregation: output must hold, per key,
+// the number of input pairs with that key. Input values are ignored.
+func CheckCountAgg(w *dist.Worker, cfg SumConfig, input, output []data.Pair) (bool, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	c := NewSumChecker(cfg, seed)
+	tv := c.NewTable()
+	c.AccumulateCount(tv, input)
+	to := c.NewTable()
+	c.Accumulate(to, output)
+	return checkTablesMatch(w, c, tv, to)
+}
+
+// SumCheckLocalWork exposes the local processing step in isolation for
+// the overhead measurements of Table 5: it accumulates pairs into a
+// fresh table and returns it (no communication).
+func SumCheckLocalWork(c *SumChecker, pairs []data.Pair) []uint64 {
+	t := c.NewTable()
+	c.Accumulate(t, pairs)
+	return t
+}

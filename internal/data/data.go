@@ -1,0 +1,108 @@
+// Package data defines the element types shared by the distributed
+// operations and the checkers: fixed-size machine-word elements (uint64)
+// and (key, value) pairs, matching the paper's model of n fixed-size
+// elements (Section 2).
+package data
+
+import "sort"
+
+// Pair is a (key, value) record, the unit of all aggregation operations.
+type Pair struct {
+	Key   uint64
+	Value uint64
+}
+
+// Triple is a (key, value, count) record used by average aggregation
+// (Section 6.1): averages are computed as a sum lane plus a count lane.
+type Triple struct {
+	Key   uint64
+	Value uint64
+	Count uint64
+}
+
+// ClonePairs returns a deep copy of ps.
+func ClonePairs(ps []Pair) []Pair {
+	out := make([]Pair, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// CloneU64s returns a deep copy of xs.
+func CloneU64s(xs []uint64) []uint64 {
+	out := make([]uint64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// IsSortedU64 reports whether xs is non-decreasing.
+func IsSortedU64(xs []uint64) bool {
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// SortU64 sorts xs in place in non-decreasing order.
+func SortU64(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// SortPairsByKey sorts ps in place by key (ties by value, for
+// determinism).
+func SortPairsByKey(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Key != ps[j].Key {
+			return ps[i].Key < ps[j].Key
+		}
+		return ps[i].Value < ps[j].Value
+	})
+}
+
+// PairsToMapSum folds ps into a key -> sum-of-values map using wrapping
+// uint64 addition. It is the sequential reference for sum aggregation.
+func PairsToMapSum(ps []Pair) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, p := range ps {
+		m[p.Key] += p.Value
+	}
+	return m
+}
+
+// Keys returns the sorted distinct keys of m.
+func Keys(m map[uint64]uint64) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	SortU64(ks)
+	return ks
+}
+
+// MapToPairs converts m into pairs sorted by key.
+func MapToPairs(m map[uint64]uint64) []Pair {
+	out := make([]Pair, 0, len(m))
+	for k, v := range m {
+		out = append(out, Pair{Key: k, Value: v})
+	}
+	SortPairsByKey(out)
+	return out
+}
+
+// SplitEven partitions n items over p parts as evenly as possible and
+// returns the [start, end) range of part i. The first n%p parts receive
+// one extra item, matching the O(n/p) balanced distribution the paper
+// assumes.
+func SplitEven(n, p, i int) (start, end int) {
+	base := n / p
+	rem := n % p
+	start = i*base + min(i, rem)
+	end = start + base
+	if i < rem {
+		end++
+	}
+	return start, end
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitEvenCoversAll(t *testing.T) {
+	f := func(n, p uint8) bool {
+		np, pp := int(n), int(p%64)+1
+		prevEnd := 0
+		for i := 0; i < pp; i++ {
+			s, e := SplitEven(np, pp, i)
+			if s != prevEnd || e < s {
+				return false
+			}
+			prevEnd = e
+		}
+		return prevEnd == np
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEvenBalanced(t *testing.T) {
+	const n, p = 1000, 7
+	for i := 0; i < p; i++ {
+		s, e := SplitEven(n, p, i)
+		if sz := e - s; sz != n/p && sz != n/p+1 {
+			t.Fatalf("part %d has size %d, want %d or %d", i, sz, n/p, n/p+1)
+		}
+	}
+}
+
+func TestPairsToMapSum(t *testing.T) {
+	ps := []Pair{{1, 10}, {2, 5}, {1, 7}, {3, 0}}
+	m := PairsToMapSum(ps)
+	if m[1] != 17 || m[2] != 5 || m[3] != 0 || len(m) != 3 {
+		t.Fatalf("unexpected map: %v", m)
+	}
+}
+
+func TestMapToPairsRoundTrip(t *testing.T) {
+	m := map[uint64]uint64{5: 50, 1: 10, 9: 90}
+	ps := MapToPairs(m)
+	if len(ps) != 3 || ps[0].Key != 1 || ps[1].Key != 5 || ps[2].Key != 9 {
+		t.Fatalf("MapToPairs not sorted: %v", ps)
+	}
+	back := PairsToMapSum(ps)
+	for k, v := range m {
+		if back[k] != v {
+			t.Fatalf("round trip lost %d -> %d", k, v)
+		}
+	}
+}
+
+func TestIsSortedU64(t *testing.T) {
+	if !IsSortedU64(nil) || !IsSortedU64([]uint64{1}) || !IsSortedU64([]uint64{1, 1, 2}) {
+		t.Fatal("sorted slices misclassified")
+	}
+	if IsSortedU64([]uint64{2, 1}) {
+		t.Fatal("unsorted slice classified as sorted")
+	}
+}
+
+func TestClonesAreIndependent(t *testing.T) {
+	xs := []uint64{1, 2, 3}
+	ys := CloneU64s(xs)
+	ys[0] = 99
+	if xs[0] != 1 {
+		t.Fatal("CloneU64s aliases input")
+	}
+	ps := []Pair{{1, 2}}
+	qs := ClonePairs(ps)
+	qs[0].Key = 9
+	if ps[0].Key != 1 {
+		t.Fatal("ClonePairs aliases input")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	ks := Keys(map[uint64]uint64{3: 0, 1: 0, 2: 0})
+	if len(ks) != 3 || ks[0] != 1 || ks[1] != 2 || ks[2] != 3 {
+		t.Fatalf("Keys not sorted: %v", ks)
+	}
+}

@@ -1,0 +1,246 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 7) from the checkers,
+// operations, manipulators and workload generators of this repository.
+// See DESIGN.md for the experiment index.
+package exp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/manipulate"
+	"repro/internal/workload"
+)
+
+// AccuracyRow is one point of Fig. 3 or Fig. 5: the empirical failure
+// rate of a checker configuration under a manipulator, normalised by
+// the configuration's failure bound delta.
+type AccuracyRow struct {
+	Config      string
+	Manipulator string
+	Runs        int
+	Failures    int
+	Rate        float64 // Failures / Runs
+	Delta       float64 // theoretical bound
+	Ratio       float64 // Rate / Delta, the paper's y-axis
+}
+
+// AccuracySumOptions configures the Fig. 3 reproduction. The paper uses
+// 50 000 elements over a 10^6-value power law, 4 PEs and 100 000 runs
+// per point; defaults are scaled down for laptop runtimes and can be
+// raised to paper scale with flags.
+type AccuracySumOptions struct {
+	Elements    int     // input size n (paper: 50 000)
+	KeyUniverse int     // power-law universe (paper: 10^6)
+	MinRuns     int     // lower bound on trials per point
+	MaxRuns     int     // upper bound on trials per point
+	TargetFails float64 // grow runs until delta*runs >= this many expected failures
+	Seed        uint64
+	Parallelism int // worker goroutines (0 = GOMAXPROCS)
+}
+
+// DefaultAccuracySumOptions returns laptop-scale defaults.
+func DefaultAccuracySumOptions() AccuracySumOptions {
+	return AccuracySumOptions{
+		Elements:    2000,
+		KeyUniverse: 1e6,
+		MinRuns:     2000,
+		MaxRuns:     60000,
+		TargetFails: 20,
+		Seed:        0x9a9a1,
+	}
+}
+
+// runsFor picks the trial count for a failure bound delta: enough runs
+// to expect TargetFails failures, clamped to [MinRuns, MaxRuns].
+func runsFor(delta float64, minRuns, maxRuns int, targetFails float64) int {
+	if delta <= 0 {
+		return maxRuns
+	}
+	runs := int(math.Ceil(targetFails / delta))
+	if runs < minRuns {
+		runs = minRuns
+	}
+	if runs > maxRuns {
+		runs = maxRuns
+	}
+	return runs
+}
+
+// parallelTrials executes trial(i) for i in [0, runs) on a worker pool
+// and returns the number of trials reporting true.
+func parallelTrials(runs, parallelism int, trial func(i int) bool) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, parallelism)
+	chunk := (runs + parallelism - 1) / parallelism
+	for wkr := 0; wkr < parallelism; wkr++ {
+		wkr := wkr
+		lo, hi := wkr*chunk, (wkr+1)*chunk
+		if hi > runs {
+			hi = runs
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if trial(i) {
+					counts[wkr]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// AccuracySum reproduces Fig. 3: the detection accuracy of the sum
+// aggregation checker for every Table 3 accuracy configuration under
+// every Table 4 manipulator.
+//
+// A trial manipulates a fresh copy of the input and asks whether the
+// condensed reductions of original and manipulated data collide under a
+// fresh random seed — exactly the event in which the distributed
+// checker would accept the faulty computation (the network reduction is
+// exact modular addition, so it cannot change the outcome; this lets
+// one trial run without spinning up PEs).
+func AccuracySum(opt AccuracySumOptions) []AccuracyRow {
+	if opt.Elements <= 0 {
+		opt = DefaultAccuracySumOptions()
+	}
+	input := workload.ZipfPairs(opt.Elements, opt.KeyUniverse, 1<<32, opt.Seed)
+	var rows []AccuracyRow
+	for _, cfg := range core.AccuracyConfigs() {
+		for _, m := range manipulate.PairManipulators() {
+			delta := cfg.AchievedDelta()
+			runs := runsFor(delta, opt.MinRuns, opt.MaxRuns, opt.TargetFails)
+			failures := parallelTrials(runs, opt.Parallelism, func(i int) bool {
+				trialSeed := hashing.Mix64(opt.Seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ 0xface)
+				rng := hashing.NewMT19937_64(trialSeed)
+				bad := data.ClonePairs(input)
+				if !m.Apply(bad, rng, uint64(opt.KeyUniverse)) {
+					return false
+				}
+				c := core.NewSumChecker(cfg, trialSeed)
+				tv := c.NewTable()
+				c.Accumulate(tv, input)
+				to := c.NewTable()
+				c.Accumulate(to, bad)
+				c.Normalize(tv)
+				c.Normalize(to)
+				return tablesEqual(tv, to) // collision = checker failure
+			})
+			rate := float64(failures) / float64(runs)
+			rows = append(rows, AccuracyRow{
+				Config:      cfg.Name(),
+				Manipulator: m.Name,
+				Runs:        runs,
+				Failures:    failures,
+				Rate:        rate,
+				Delta:       delta,
+				Ratio:       rate / delta,
+			})
+		}
+	}
+	return rows
+}
+
+func tablesEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AccuracyPermOptions configures the Fig. 5 reproduction (Appendix A).
+// The paper uses 10^6 uniform elements over 10^8 values, 4 PEs, 100 000
+// runs per point.
+type AccuracyPermOptions struct {
+	Elements    int
+	Universe    uint64
+	MinRuns     int
+	MaxRuns     int
+	TargetFails float64
+	Seed        uint64
+	Parallelism int
+}
+
+// DefaultAccuracyPermOptions returns laptop-scale defaults.
+func DefaultAccuracyPermOptions() AccuracyPermOptions {
+	return AccuracyPermOptions{
+		Elements:    5000,
+		Universe:    1e8,
+		MinRuns:     2000,
+		MaxRuns:     60000,
+		TargetFails: 20,
+		Seed:        0x5e5e5,
+	}
+}
+
+// PermLogHs are the truncation widths of Fig. 5's x-axis.
+var PermLogHs = []int{1, 2, 3, 4, 6, 8, 12}
+
+// AccuracyPerm reproduces Fig. 5: the permutation/sort checker's
+// detection accuracy for CRC-32C and tabulation hashing truncated to
+// logH bits, under the Table 6 manipulators. This is where the paper
+// observes CRC-32C's weakness against the Increment manipulator.
+func AccuracyPerm(opt AccuracyPermOptions) []AccuracyRow {
+	if opt.Elements <= 0 {
+		opt = DefaultAccuracyPermOptions()
+	}
+	input := workload.UniformU64s(opt.Elements, opt.Universe, opt.Seed)
+	var rows []AccuracyRow
+	for _, fam := range []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab} {
+		for _, logH := range PermLogHs {
+			cfg := core.PermConfig{Family: fam, LogH: logH, Iterations: 1}
+			delta := cfg.Delta()
+			runs := runsFor(delta, opt.MinRuns, opt.MaxRuns, opt.TargetFails)
+			for _, m := range manipulate.SeqManipulators() {
+				m := m
+				failures := parallelTrials(runs, opt.Parallelism, func(i int) bool {
+					trialSeed := hashing.Mix64(opt.Seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ 0xbeef)
+					rng := hashing.NewMT19937_64(trialSeed)
+					bad := data.CloneU64s(input)
+					if !m.Apply(bad, rng, opt.Universe) {
+						return false
+					}
+					c := core.NewPermChecker(cfg, trialSeed)
+					lambda := core.PermCheckLocalWork(c, input, bad)
+					mask := uint64(1)<<logH - 1
+					for _, v := range lambda {
+						if v&mask != 0 {
+							return false // detected
+						}
+					}
+					return true // collision = checker failure
+				})
+				rate := float64(failures) / float64(runs)
+				rows = append(rows, AccuracyRow{
+					Config:      cfg.Name(),
+					Manipulator: m.Name,
+					Runs:        runs,
+					Failures:    failures,
+					Rate:        rate,
+					Delta:       delta,
+					Ratio:       rate / delta,
+				})
+			}
+		}
+	}
+	return rows
+}

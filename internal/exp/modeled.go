@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+	"repro/internal/workload"
+)
+
+// ModeledRow is one point of the modeled weak-scaling experiment: the
+// communication makespan under the alpha-beta cost model of Section 2,
+// for the reduce operation and for its checker, at one PE count.
+type ModeledRow struct {
+	P             int
+	OpMakespanMs  float64 // modeled comm time of the reduction
+	ChkMakespanMs float64 // modeled comm time of the checker
+	Overhead      float64 // checker / operation
+}
+
+// ModeledScalingOptions configures the model-based scaling sweep. Since
+// virtual time is wall-clock-noise-free, PE counts can reach the
+// paper's full 2^12 range regardless of physical cores.
+type ModeledScalingOptions struct {
+	ItemsPerPE int
+	PEs        []int
+	AlphaNs    float64 // startup latency (default 10 us, InfiniBand-ish)
+	BetaNsPerB float64 // per-byte time (default 1 ns = 1 GB/s)
+	Config     core.SumConfig
+	Seed       uint64
+}
+
+// DefaultModeledScalingOptions reaches the paper's 2^5..2^12 PE range.
+func DefaultModeledScalingOptions() ModeledScalingOptions {
+	return ModeledScalingOptions{
+		ItemsPerPE: 5000,
+		PEs:        []int{32, 64, 128, 256, 512, 1024, 2048, 4096},
+		AlphaNs:    10000,
+		BetaNsPerB: 1,
+		Config:     core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
+		Seed:       0x0de1ed,
+	}
+}
+
+// ModeledScaling sweeps PE counts and reports modeled communication
+// makespans of the reduce operation versus the sum checker. The
+// checker's makespan should grow only as alpha*log p while the
+// operation's grows with the exchanged data volume — the asymptotic
+// separation behind Fig. 4's flat overhead curves.
+func ModeledScaling(opt ModeledScalingOptions) ([]ModeledRow, error) {
+	if opt.ItemsPerPE <= 0 {
+		opt = DefaultModeledScalingOptions()
+	}
+	var rows []ModeledRow
+	for _, p := range opt.PEs {
+		zipf := workload.NewZipf(1e6, hashing.NewMT19937_64(opt.Seed))
+		net := comm.NewSimNetwork(p, opt.AlphaNs, opt.BetaNsPerB)
+		locals := make([][]data.Pair, p)
+		outs := make([][]data.Pair, p)
+		err := dist.RunNetwork(net, opt.Seed, func(w *dist.Worker) error {
+			local := make([]data.Pair, opt.ItemsPerPE)
+			for i := range local {
+				local[i] = data.Pair{Key: zipf.SampleR(w.Rng), Value: w.Rng.Uint64n(1 << 30)}
+			}
+			locals[w.Rank()] = local
+			out, err := ops.ReduceByKey(w, ops.NewPartitioner(opt.Seed, p), local, ops.SumFn)
+			outs[w.Rank()] = out
+			return err
+		})
+		if err != nil {
+			net.Close()
+			return nil, fmt.Errorf("exp: modeled scaling op p=%d: %w", p, err)
+		}
+		opMs := net.MakespanNs() / 1e6
+		net.ResetClocks()
+		err = dist.RunNetwork(net, opt.Seed+1, func(w *dist.Worker) error {
+			ok, err := core.CheckSumAgg(w, opt.Config, locals[w.Rank()], outs[w.Rank()])
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("checker rejected a correct reduction")
+			}
+			return nil
+		})
+		if err != nil {
+			net.Close()
+			return nil, fmt.Errorf("exp: modeled scaling checker p=%d: %w", p, err)
+		}
+		chkMs := net.MakespanNs() / 1e6
+		net.Close()
+		rows = append(rows, ModeledRow{
+			P:             p,
+			OpMakespanMs:  opMs,
+			ChkMakespanMs: chkMs,
+			Overhead:      chkMs / opMs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderModeled prints the modeled scaling sweep.
+func RenderModeled(rows []ModeledRow) string {
+	var b strings.Builder
+	b.WriteString("Modeled communication time (alpha-beta model, Section 2):\n")
+	b.WriteString("reduce operation vs sum checker across PE counts\n\n")
+	fmt.Fprintf(&b, "%6s %16s %16s %12s\n", "PEs", "op comm (ms)", "checker (ms)", "chk/op")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %16.3f %16.3f %12.4f\n", r.P, r.OpMakespanMs, r.ChkMakespanMs, r.Overhead)
+	}
+	return b.String()
+}

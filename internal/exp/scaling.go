@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+	"repro/internal/workload"
+)
+
+// ScalingRow is one point of Fig. 4: the ratio of checked to unchecked
+// running time of the reduce pipeline at a PE count.
+type ScalingRow struct {
+	P        int
+	Config   string
+	BaseSec  float64 // unchecked reduce, seconds (mean over repeats)
+	CheckSec float64 // reduce + checker, seconds (mean over repeats)
+	Ratio    float64 // CheckSec / BaseSec, the paper's y-axis
+}
+
+// WeakScalingOptions configures the Fig. 4 reproduction. The paper runs
+// 125 000 Zipf items per PE on 2^5..2^12 cores of a cluster; here PEs
+// are goroutines on one machine, so defaults use fewer items and PEs.
+// The y-axis (relative overhead) is the quantity being reproduced.
+type WeakScalingOptions struct {
+	ItemsPerPE  int
+	KeyUniverse int
+	PEs         []int // PE counts to sweep
+	Repeats     int   // timing repetitions per point
+	Seed        uint64
+	Configs     []core.SumConfig // defaults to core.ScalingConfigs()
+}
+
+// DefaultWeakScalingOptions returns laptop-scale defaults.
+func DefaultWeakScalingOptions() WeakScalingOptions {
+	return WeakScalingOptions{
+		ItemsPerPE:  20000,
+		KeyUniverse: 1e6,
+		PEs:         []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
+		Repeats:     3,
+		Seed:        0xf19f4,
+	}
+}
+
+// WeakScaling reproduces Fig. 4: for each PE count, time the
+// distributed ReduceByKey pipeline without a checker and with the sum
+// aggregation checker in each scaling configuration.
+func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
+	if opt.ItemsPerPE <= 0 {
+		opt = DefaultWeakScalingOptions()
+	}
+	configs := opt.Configs
+	if configs == nil {
+		configs = core.ScalingConfigs()
+	}
+	var rows []ScalingRow
+	for _, p := range opt.PEs {
+		// One shared Zipf sampler (read-only after construction); each
+		// PE samples its local share with its own rng.
+		zipf := workload.NewZipf(opt.KeyUniverse, hashing.NewMT19937_64(opt.Seed))
+		base, err := timeReduce(p, opt, zipf, nil)
+		if err != nil {
+			return nil, fmt.Errorf("exp: weak scaling base p=%d: %w", p, err)
+		}
+		for _, cfg := range configs {
+			cfg := cfg
+			checked, err := timeReduce(p, opt, zipf, &cfg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: weak scaling %s p=%d: %w", cfg.Name(), p, err)
+			}
+			rows = append(rows, ScalingRow{
+				P:        p,
+				Config:   cfg.Name(),
+				BaseSec:  base,
+				CheckSec: checked,
+				Ratio:    checked / base,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// timeReduce times the reduce(-and-check) pipeline, returning the mean
+// seconds over opt.Repeats runs (after one warm-up run).
+func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.SumConfig) (float64, error) {
+	run := func(rep int) (time.Duration, error) {
+		var elapsed time.Duration
+		err := dist.Run(p, opt.Seed+uint64(rep)*7919, func(w *dist.Worker) error {
+			// Generate this PE's local share (generation excluded from
+			// timing via a barrier).
+			local := make([]data.Pair, opt.ItemsPerPE)
+			for i := range local {
+				local[i] = data.Pair{Key: zipf.SampleR(w.Rng), Value: w.Rng.Uint64n(1 << 30)}
+			}
+			pt := ops.NewPartitioner(opt.Seed, p)
+			if err := w.Coll.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			out, err := ops.ReduceByKey(w, pt, local, ops.SumFn)
+			if err != nil {
+				return err
+			}
+			if cfg != nil {
+				ok, err := core.CheckSumAgg(w, *cfg, local, out)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("exp: checker rejected a correct reduction")
+				}
+			}
+			if err := w.Coll.Barrier(); err != nil {
+				return err
+			}
+			if w.Rank() == 0 {
+				elapsed = time.Since(start)
+			}
+			return nil
+		})
+		return elapsed, err
+	}
+	// Warm-up.
+	if _, err := run(0); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for rep := 1; rep <= opt.Repeats; rep++ {
+		d, err := run(rep)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total.Seconds() / float64(opt.Repeats), nil
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+	"repro/internal/workload"
+)
+
+// VolumeRow quantifies the paper's central claim — sublinear bottleneck
+// communication volume — for one input size: the maximum bytes any PE
+// sends/receives during the operation itself versus during its checker.
+type VolumeRow struct {
+	N            int   // total input elements
+	P            int   // PEs
+	OpBytes      int64 // bottleneck bytes of the reduce operation
+	CheckerBytes int64 // bottleneck bytes of the checker
+	CheckerMsgs  int64 // bottleneck message count of the checker
+	TableBits    int   // configured minireduction size
+}
+
+// CommVolumeOptions configures the communication audit.
+type CommVolumeOptions struct {
+	P      int
+	Ns     []int // total element counts to sweep
+	Config core.SumConfig
+	Seed   uint64
+}
+
+// DefaultCommVolumeOptions sweeps three decades of input size.
+func DefaultCommVolumeOptions() CommVolumeOptions {
+	return CommVolumeOptions{
+		P:      8,
+		Ns:     []int{10_000, 100_000, 1_000_000},
+		Config: core.SumConfig{Iterations: 5, Buckets: 16, RHatLog: 5, Family: hashing.FamilyCRC},
+		Seed:   0xc0117,
+	}
+}
+
+// CommVolume measures, on an instrumented in-memory network, the
+// bottleneck communication volume of a distributed reduction versus its
+// checker across input sizes: the operation's volume grows with n while
+// the checker's stays constant — o(n/p), the Section 1 criterion.
+func CommVolume(opt CommVolumeOptions) ([]VolumeRow, error) {
+	if opt.P <= 0 {
+		opt = DefaultCommVolumeOptions()
+	}
+	var rows []VolumeRow
+	for _, n := range opt.Ns {
+		global := workload.ZipfPairs(n, 1e6, 1<<30, opt.Seed)
+		net := comm.NewMemNetwork(opt.P)
+		outs := make([][]data.Pair, opt.P)
+		// Phase 1: the operation.
+		err := dist.RunNetwork(net, opt.Seed, func(w *dist.Worker) error {
+			s, e := data.SplitEven(len(global), opt.P, w.Rank())
+			out, err := ops.ReduceByKey(w, ops.NewPartitioner(opt.Seed, opt.P), global[s:e], ops.SumFn)
+			if err != nil {
+				return err
+			}
+			outs[w.Rank()] = out
+			return nil
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		opVol := comm.NetworkBottleneck(net)
+		comm.ResetNetwork(net)
+		// Phase 2: the checker alone.
+		err = dist.RunNetwork(net, opt.Seed+1, func(w *dist.Worker) error {
+			s, e := data.SplitEven(len(global), opt.P, w.Rank())
+			ok, err := core.CheckSumAgg(w, opt.Config, global[s:e], outs[w.Rank()])
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("exp: checker rejected a correct reduction")
+			}
+			return nil
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		chkVol := comm.NetworkBottleneck(net)
+		net.Close()
+		rows = append(rows, VolumeRow{
+			N:            n,
+			P:            opt.P,
+			OpBytes:      opVol.MaxBytes,
+			CheckerBytes: chkVol.MaxBytes,
+			CheckerMsgs:  chkVol.MaxMsgs,
+			TableBits:    opt.Config.TableBits(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,76 @@
+package hashing
+
+import "fmt"
+
+// Hasher is one concrete hash function drawn from a Family.
+type Hasher interface {
+	// Hash64 maps a 64-bit input to a hash value. Only the low Bits()
+	// bits are significant; higher bits are zero for 32-bit families.
+	Hash64(x uint64) uint64
+	// Bits is the number of significant output bits (32 or 64).
+	Bits() int
+}
+
+// Family is a keyed family of hash functions. Checker iterations draw
+// independent members via New with distinct seeds.
+type Family struct {
+	// Name is the identifier used in the paper's plots (CRC, Tab, Tab64,
+	// Mix).
+	Name string
+	// New returns the family member keyed by seed.
+	New func(seed uint64) Hasher
+	// Bits is the output width of members of this family.
+	Bits int
+}
+
+// mixHasher is the ideal "random hash function" model of Section 2:
+// a strong keyed mixer whose outputs we treat as uniform. It is also the
+// cheapest family, so it doubles as the default for the framework's own
+// hash partitioning.
+type mixHasher struct {
+	key uint64
+}
+
+func (m mixHasher) Hash64(x uint64) uint64 { return Mix64(x ^ m.key) }
+func (m mixHasher) Bits() int              { return 64 }
+
+// Families indexed by name. CRC: hardware-polynomial CRC-32C; Tab:
+// byte-wise tabulation with 32-bit output; Tab64: tabulation with 64-bit
+// output; Mix: ideal keyed mixer.
+var (
+	FamilyCRC = Family{
+		Name: "CRC",
+		New:  func(seed uint64) Hasher { return NewCRC32C(seed) },
+		Bits: 32,
+	}
+	FamilyTab = Family{
+		Name: "Tab",
+		New:  func(seed uint64) Hasher { return NewTabulation32(seed) },
+		Bits: 32,
+	}
+	FamilyTab64 = Family{
+		Name: "Tab64",
+		New:  func(seed uint64) Hasher { return NewTabulation64(seed) },
+		Bits: 64,
+	}
+	FamilyMix = Family{
+		Name: "Mix",
+		New:  func(seed uint64) Hasher { return mixHasher{key: Mix64(seed)} },
+		Bits: 64,
+	}
+)
+
+// FamilyByName resolves the plot names used throughout the experiments.
+func FamilyByName(name string) (Family, error) {
+	switch name {
+	case "CRC":
+		return FamilyCRC, nil
+	case "Tab":
+		return FamilyTab, nil
+	case "Tab64":
+		return FamilyTab64, nil
+	case "Mix":
+		return FamilyMix, nil
+	}
+	return Family{}, fmt.Errorf("hashing: unknown hash family %q", name)
+}

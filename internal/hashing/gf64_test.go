@@ -1,0 +1,158 @@
+package hashing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestClMul64KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{2, 3, 0, 6},                   // x * (x+1) = x^2 + x
+		{3, 3, 0, 5},                   // (x+1)^2 = x^2+1 over GF(2)
+		{1 << 63, 2, 1, 0},             // x^63 * x = x^64
+		{1 << 63, 1 << 63, 1 << 62, 0}, // x^126
+	}
+	for _, c := range cases {
+		hi, lo := ClMul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("ClMul64(%#x, %#x) = (%#x, %#x), want (%#x, %#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+// clMulRef is a bit-at-a-time reference carry-less multiply.
+func clMulRef(a, b uint64) (hi, lo uint64) {
+	for i := 0; i < 64; i++ {
+		if b&(1<<i) != 0 {
+			lo ^= a << i
+			if i > 0 {
+				hi ^= a >> (64 - i)
+			}
+		}
+	}
+	return hi, lo
+}
+
+func TestClMul64MatchesReference(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := ClMul64(a, b)
+		rhi, rlo := clMulRef(a, b)
+		return hi == rhi && lo == rlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGF64MulProperties(t *testing.T) {
+	comm := func(a, b uint64) bool { return GF64Mul(a, b) == GF64Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatalf("commutativity: %v", err)
+	}
+	ident := func(a uint64) bool { return GF64Mul(a, 1) == a }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Fatalf("identity: %v", err)
+	}
+	zero := func(a uint64) bool { return GF64Mul(a, 0) == 0 }
+	if err := quick.Check(zero, nil); err != nil {
+		t.Fatalf("zero: %v", err)
+	}
+	distrib := func(a, b, c uint64) bool {
+		return GF64Mul(a, b^c) == GF64Mul(a, b)^GF64Mul(a, c)
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Fatalf("distributivity: %v", err)
+	}
+	assoc := func(a, b, c uint64) bool {
+		return GF64Mul(GF64Mul(a, b), c) == GF64Mul(a, GF64Mul(b, c))
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("associativity: %v", err)
+	}
+}
+
+func TestGF64NoZeroDivisors(t *testing.T) {
+	// In a field, products of nonzero elements are nonzero. Sampled.
+	rng := NewMT19937_64(11)
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if a == 0 || b == 0 {
+			continue
+		}
+		if GF64Mul(a, b) == 0 {
+			t.Fatalf("zero divisor: %#x * %#x == 0", a, b)
+		}
+	}
+}
+
+func TestGF64PowFermat(t *testing.T) {
+	// In GF(2^64), a^(2^64-1) == 1 for a != 0 (Lagrange). Spot-check via
+	// a^(2^64) == a, i.e. pow(pow(a,2^32),2^32) == a using repeated
+	// squaring on exponent 2^32 twice.
+	rng := NewMT19937_64(5)
+	for i := 0; i < 20; i++ {
+		a := rng.Uint64() | 1
+		x := a
+		for j := 0; j < 64; j++ {
+			x = GF64Mul(x, x)
+		}
+		if x != a {
+			t.Fatalf("a^(2^64) != a for a=%#x", a)
+		}
+	}
+}
+
+func TestMod61(t *testing.T) {
+	cases := map[uint64]uint64{
+		0:              0,
+		1:              1,
+		Mersenne61:     0,
+		Mersenne61 + 1: 1,
+		2 * Mersenne61: 0,
+		^uint64(0):     Mod61(^uint64(0)),
+	}
+	for in, want := range cases {
+		big := new(big.Int).SetUint64(in)
+		ref := big.Mod(big, bigM61()).Uint64()
+		if Mod61(in) != ref {
+			t.Errorf("Mod61(%d) = %d, want %d", in, Mod61(in), ref)
+		}
+		_ = want
+	}
+}
+
+func bigM61() *big.Int { return new(big.Int).SetUint64(Mersenne61) }
+
+func TestMulMod61MatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Mersenne61
+		b %= Mersenne61
+		got := MulMod61(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, bigM61())
+		return got == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMod61(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Mersenne61
+		b %= Mersenne61
+		s := AddMod61(a, b)
+		if SubMod61(s, b) != a {
+			return false
+		}
+		return s < Mersenne61
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

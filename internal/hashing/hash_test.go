@@ -1,0 +1,215 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestFamiliesDeterministic(t *testing.T) {
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		h1 := fam.New(42)
+		h2 := fam.New(42)
+		for x := uint64(0); x < 1000; x++ {
+			if h1.Hash64(x) != h2.Hash64(x) {
+				t.Fatalf("%s: same seed produced different hashes for %d", fam.Name, x)
+			}
+		}
+	}
+}
+
+func TestFamiliesSeedSensitivity(t *testing.T) {
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		h1 := fam.New(1)
+		h2 := fam.New(2)
+		same := 0
+		for x := uint64(0); x < 1000; x++ {
+			if h1.Hash64(x) == h2.Hash64(x) {
+				same++
+			}
+		}
+		if same > 10 {
+			t.Errorf("%s: seeds 1 and 2 agree on %d of 1000 inputs", fam.Name, same)
+		}
+	}
+}
+
+func TestFamilyBitsConsistent(t *testing.T) {
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		h := fam.New(7)
+		if h.Bits() != fam.Bits {
+			t.Errorf("%s: hasher Bits %d != family Bits %d", fam.Name, h.Bits(), fam.Bits)
+		}
+		if fam.Bits == 32 {
+			for x := uint64(0); x < 1000; x++ {
+				if h.Hash64(x)>>32 != 0 {
+					t.Fatalf("%s: 32-bit family produced high bits for %d", fam.Name, x)
+				}
+			}
+		}
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, name := range []string{"CRC", "Tab", "Tab64", "Mix"} {
+		fam, err := FamilyByName(name)
+		if err != nil {
+			t.Fatalf("FamilyByName(%q): %v", name, err)
+		}
+		if fam.Name != name {
+			t.Fatalf("FamilyByName(%q) returned %q", name, fam.Name)
+		}
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+}
+
+func TestHashUniformityCoarse(t *testing.T) {
+	// Bucket 32k sequential keys into 16 buckets; every family should be
+	// near-uniform (sequential inputs are the adversarial case for weak
+	// mixers).
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		h := fam.New(123)
+		const buckets, n = 16, 32768
+		var counts [buckets]int
+		for x := uint64(0); x < n; x++ {
+			counts[h.Hash64(x)&(buckets-1)]++
+		}
+		want := n / buckets
+		for b, c := range counts {
+			if c < want*8/10 || c > want*12/10 {
+				t.Errorf("%s: bucket %d has %d keys, want about %d", fam.Name, b, c, want)
+			}
+		}
+	}
+}
+
+func TestSubSeedsDistinct(t *testing.T) {
+	seeds := SubSeeds(99, 64)
+	seen := make(map[uint64]bool, len(seeds))
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("SubSeeds produced a duplicate")
+		}
+		seen[s] = true
+	}
+	again := SubSeeds(99, 64)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("SubSeeds is not deterministic")
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 is a bijection; sampled collision-freedom is a cheap check.
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 200000; x += 7 {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d", prev, x)
+		}
+		seen[h] = x
+	}
+}
+
+func TestSplitterCoversAllBits(t *testing.T) {
+	s := NewSplitter(16, 8, 32) // 8 groups of 4 bits from a 32-bit hash
+	if s.HashesNeeded() != 1 {
+		t.Fatalf("expected 1 hash needed, got %d", s.HashesNeeded())
+	}
+	hs := []uint64{0x89ABCDEF}
+	want := []uint64{0xF, 0xE, 0xD, 0xC, 0xB, 0xA, 0x9, 0x8}
+	for i, w := range want {
+		if got := s.Group(hs, i); got != w {
+			t.Fatalf("group %d: got %x, want %x", i, got, w)
+		}
+	}
+}
+
+func TestSplitterMultipleHashes(t *testing.T) {
+	// 8 groups of 5 bits from 32-bit hashes: 6 groups per hash, so two
+	// hash values are needed.
+	s := NewSplitter(32, 8, 32)
+	if got := s.HashesNeeded(); got != 2 {
+		t.Fatalf("HashesNeeded: got %d, want 2", got)
+	}
+	hs := []uint64{0xFFFFFFFF, 0x00000000}
+	if got := s.Group(hs, 5); got != 31 {
+		t.Fatalf("group 5 from all-ones hash: got %d, want 31", got)
+	}
+	if got := s.Group(hs, 6); got != 0 {
+		t.Fatalf("group 6 from all-zero hash: got %d, want 0", got)
+	}
+}
+
+func TestSplitterRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non power-of-two d")
+		}
+	}()
+	NewSplitter(37, 4, 32)
+}
+
+func TestIsPow2(t *testing.T) {
+	for d, want := range map[int]bool{1: false, 2: true, 3: false, 4: true, 37: false, 256: true, 0: false, -4: false} {
+		if got := IsPow2(d); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestSplitterGroupsIndependentQuick(t *testing.T) {
+	// Property: reassembling the groups of a 64-bit hash reproduces the
+	// low instance*width bits of the original value.
+	f := func(h uint64) bool {
+		s := NewSplitter(16, 16, 64)
+		var rebuilt uint64
+		for i := 0; i < 16; i++ {
+			rebuilt |= s.Group([]uint64{h}, i) << (4 * i)
+		}
+		return rebuilt == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32CMatchesStdlib(t *testing.T) {
+	// The hand-rolled byte-at-a-time update must be bit-identical to
+	// crc32.Update over the Castagnoli table for both message widths.
+	c := NewCRC32C(12345)
+	rng := NewMT19937_64(1)
+	for i := 0; i < 5000; i++ {
+		x := rng.Uint64()
+		if i%2 == 0 {
+			x &= 0xFFFFFFFF // force the 4-byte path
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], x)
+		n := 4
+		if x > 0xFFFFFFFF {
+			n = 8
+		}
+		want := uint64(crc32.Update(c.init, castagnoli, buf[:n]))
+		if got := c.Hash64(x); got != want {
+			t.Fatalf("Hash64(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+}
+
+func TestCRC32CAllocationFree(t *testing.T) {
+	c := NewCRC32C(7)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sinkHash += c.Hash64(0xdeadbeefcafe)
+		sinkHash += c.Hash64(0x1234)
+	})
+	if allocs != 0 {
+		t.Fatalf("Hash64 allocates %.1f times per run", allocs)
+	}
+}
+
+var sinkHash uint64

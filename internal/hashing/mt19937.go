@@ -1,0 +1,160 @@
+package hashing
+
+// MT19937 is the 32-bit Mersenne Twister of Matsumoto and Nishimura,
+// the generator the paper uses for pseudo-random numbers (reference [29]).
+// It is not safe for concurrent use; every PE owns its own instance.
+type MT19937 struct {
+	state [mtN]uint32
+	index int
+}
+
+const (
+	mtN         = 624
+	mtM         = 397
+	mtMatrixA   = 0x9908b0df
+	mtUpperMask = 0x80000000
+	mtLowerMask = 0x7fffffff
+)
+
+// NewMT19937 returns a generator initialised with seed, following the
+// reference initialisation (init_genrand).
+func NewMT19937(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed re-initialises the generator state from seed.
+func (m *MT19937) Seed(seed uint32) {
+	m.state[0] = seed
+	for i := uint32(1); i < mtN; i++ {
+		prev := m.state[i-1]
+		m.state[i] = 1812433253*(prev^(prev>>30)) + i
+	}
+	m.index = mtN
+}
+
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint32 returns the next tempered 32-bit output.
+func (m *MT19937) Uint32() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+// Uint64 concatenates two 32-bit outputs (high word first).
+func (m *MT19937) Uint64() uint64 {
+	hi := uint64(m.Uint32())
+	lo := uint64(m.Uint32())
+	return hi<<32 | lo
+}
+
+// Uint32n returns a uniform value in [0, n) using rejection sampling,
+// so the result is exactly uniform. n must be positive.
+func (m *MT19937) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("hashing: Uint32n with n == 0")
+	}
+	// Largest multiple of n that fits in 32 bits.
+	limit := ^uint32(0) - ^uint32(0)%n
+	for {
+		v := m.Uint32()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// MT19937_64 is the 64-bit Mersenne Twister (mt19937-64).
+type MT19937_64 struct {
+	state [mt64N]uint64
+	index int
+}
+
+const (
+	mt64N         = 312
+	mt64M         = 156
+	mt64MatrixA   = 0xB5026F5AA96619E9
+	mt64UpperMask = 0xFFFFFFFF80000000
+	mt64LowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937_64 returns a 64-bit generator initialised with seed.
+func NewMT19937_64(seed uint64) *MT19937_64 {
+	m := &MT19937_64{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed re-initialises the generator state from seed.
+func (m *MT19937_64) Seed(seed uint64) {
+	m.state[0] = seed
+	for i := uint64(1); i < mt64N; i++ {
+		prev := m.state[i-1]
+		m.state[i] = 6364136223846793005*(prev^(prev>>62)) + i
+	}
+	m.index = mt64N
+}
+
+func (m *MT19937_64) generate() {
+	for i := 0; i < mt64N; i++ {
+		y := (m.state[i] & mt64UpperMask) | (m.state[(i+1)%mt64N] & mt64LowerMask)
+		next := m.state[(i+mt64M)%mt64N] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mt64MatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Uint64 returns the next tempered 64-bit output.
+func (m *MT19937_64) Uint64() uint64 {
+	if m.index >= mt64N {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= (y >> 29) & 0x5555555555555555
+	y ^= (y << 17) & 0x71D67FFFEDA60000
+	y ^= (y << 37) & 0xFFF7EEE000000000
+	y ^= y >> 43
+	return y
+}
+
+// Uint64n returns a uniform value in [0, n) via rejection sampling.
+func (m *MT19937_64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("hashing: Uint64n with n == 0")
+	}
+	limit := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := m.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (m *MT19937_64) Float64() float64 {
+	return float64(m.Uint64()>>11) / (1 << 53)
+}

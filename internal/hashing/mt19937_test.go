@@ -1,0 +1,118 @@
+package hashing
+
+import "testing"
+
+// Reference outputs of the canonical C implementations seeded with 5489
+// (the default seed of std::mt19937 / std::mt19937_64).
+var mt32Known = []uint32{3499211612, 581869302, 3890346734, 3586334585, 545404204}
+
+var mt64Known = []uint64{
+	14514284786278117030,
+	4620546740167642908,
+	13109570281517897720,
+	17462938647148434322,
+	355488278567739596,
+}
+
+func TestMT19937KnownAnswer(t *testing.T) {
+	m := NewMT19937(5489)
+	for i, want := range mt32Known {
+		if got := m.Uint32(); got != want {
+			t.Fatalf("MT19937 output %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMT19937_64KnownAnswer(t *testing.T) {
+	m := NewMT19937_64(5489)
+	for i, want := range mt64Known {
+		if got := m.Uint64(); got != want {
+			t.Fatalf("MT19937-64 output %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMT19937Reseed(t *testing.T) {
+	m := NewMT19937(12345)
+	first := make([]uint32, 10)
+	for i := range first {
+		first[i] = m.Uint32()
+	}
+	m.Seed(12345)
+	for i := range first {
+		if got := m.Uint32(); got != first[i] {
+			t.Fatalf("reseeded stream diverges at %d: got %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestMT19937DistinctSeedsDistinctStreams(t *testing.T) {
+	a, b := NewMT19937(1), NewMT19937(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds collide on %d of 100 outputs", same)
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	m := NewMT19937(7)
+	for _, n := range []uint32{1, 2, 3, 10, 1 << 20, 1<<31 + 3} {
+		for i := 0; i < 200; i++ {
+			if v := m.Uint32n(n); v >= n {
+				t.Fatalf("Uint32n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	m := NewMT19937_64(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 40, 1<<63 + 11} {
+		for i := 0; i < 200; i++ {
+			if v := m.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformSmall(t *testing.T) {
+	// Chi-square style sanity check: each residue of a small modulus
+	// should appear with roughly equal frequency.
+	m := NewMT19937_64(99)
+	const n, trials = 8, 80000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[m.Uint64n(n)]++
+	}
+	want := trials / n
+	for r, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("residue %d count %d deviates from expectation %d", r, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	m := NewMT19937_64(3)
+	for i := 0; i < 1000; i++ {
+		f := m.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUint32nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Uint32n(0)")
+		}
+	}()
+	NewMT19937(1).Uint32n(0)
+}

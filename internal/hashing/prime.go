@@ -1,0 +1,115 @@
+package hashing
+
+import "math/bits"
+
+// Prime machinery for Lemma 5: the polynomial permutation checker needs a
+// prime r > max(n/δ, U-1); Bertrand's postulate guarantees one in
+// [2^(w-1), 2^w]. We test 64-bit candidates with a deterministic
+// Miller-Rabin using a base set proven exhaustive below 2^64.
+
+// mulMod returns a*b mod m without overflow for any a, b, m < 2^64.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powMod returns a^e mod m.
+func powMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 != 0 {
+			result = mulMod(result, a, m)
+		}
+		a = mulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// millerRabinBases is sufficient for all n < 2^64 (Sinclair's verified
+// base set plus small primes for clarity).
+var millerRabinBases = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for n < 2^64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := bits.TrailingZeros64(d)
+	d >>= uint(s)
+	for _, a := range millerRabinBases {
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n, or 0 if none fits in uint64.
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; n >= 3; n += 2 {
+		if IsPrime(n) {
+			return n
+		}
+	}
+	return 0
+}
+
+// RandomPrimeInWord draws a uniform-ish prime from [2^(w-1), 2^w) by
+// sampling random odd candidates from rng until one is prime. Bertrand's
+// postulate guarantees existence; the prime number theorem makes the
+// expected number of trials O(w). w must be in [3, 63].
+func RandomPrimeInWord(w int, rng *MT19937_64) uint64 {
+	if w < 3 || w > 63 {
+		panic("hashing: RandomPrimeInWord requires 3 <= w <= 63")
+	}
+	lo := uint64(1) << (w - 1)
+	span := uint64(1) << (w - 1)
+	for {
+		candidate := lo + rng.Uint64n(span)
+		candidate |= 1
+		if IsPrime(candidate) {
+			return candidate
+		}
+	}
+}
+
+// MulMod exposes mulMod for packages implementing modular polynomial
+// evaluation over general primes.
+func MulMod(a, b, m uint64) uint64 { return mulMod(a, b, m) }
+
+// PowMod exposes powMod.
+func PowMod(a, e, m uint64) uint64 { return powMod(a, e, m) }

@@ -1,0 +1,31 @@
+package hashing
+
+// SplitMix64 steps the SplitMix64 generator state and returns the next
+// output. It is used to expand seeds into independent sub-seeds and as
+// the finalisation mixer of the ideal hash model.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finaliser to x. It is a bijection on
+// uint64 with strong avalanche behaviour.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeeds expands one seed into n sub-seeds. Checkers use it to key the
+// independent hash functions of their iterations.
+func SubSeeds(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	s := seed
+	for i := range out {
+		out[i] = SplitMix64(&s)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package hashing
+
+// Tabulation32 is simple tabulation hashing over the 8 bytes of a uint64
+// with 32-bit output: h(x) = T_0[b_0] xor ... xor T_7[b_7]. The paper's
+// "Tab" configuration uses 256-entry tables filled from a Mersenne
+// Twister; we do the same. Simple tabulation is 3-independent and, per
+// Pătraşcu and Thorup (reference [28]), behaves like a fully random
+// function for many applications.
+type Tabulation32 struct {
+	tables [8][256]uint32
+}
+
+// NewTabulation32 returns a tabulation hasher whose tables are filled
+// from an MT19937 seeded with seed.
+func NewTabulation32(seed uint64) *Tabulation32 {
+	t := &Tabulation32{}
+	mt := NewMT19937(uint32(Mix64(seed)))
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = mt.Uint32()
+		}
+	}
+	return t
+}
+
+// Hash64 hashes x byte-wise through the tables.
+func (t *Tabulation32) Hash64(x uint64) uint64 {
+	h := t.tables[0][byte(x)] ^
+		t.tables[1][byte(x>>8)] ^
+		t.tables[2][byte(x>>16)] ^
+		t.tables[3][byte(x>>24)] ^
+		t.tables[4][byte(x>>32)] ^
+		t.tables[5][byte(x>>40)] ^
+		t.tables[6][byte(x>>48)] ^
+		t.tables[7][byte(x>>56)]
+	return uint64(h)
+}
+
+// Bits reports the number of significant output bits.
+func (t *Tabulation32) Bits() int { return 32 }
+
+// Tabulation64 is simple tabulation hashing with 64-bit output (the
+// paper's "Tab64": eight 256-entry tables of 64-bit words).
+type Tabulation64 struct {
+	tables [8][256]uint64
+}
+
+// NewTabulation64 returns a 64-bit tabulation hasher whose tables are
+// filled from an MT19937-64 seeded with seed.
+func NewTabulation64(seed uint64) *Tabulation64 {
+	t := &Tabulation64{}
+	mt := NewMT19937_64(Mix64(seed))
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = mt.Uint64()
+		}
+	}
+	return t
+}
+
+// Hash64 hashes x byte-wise through the tables.
+func (t *Tabulation64) Hash64(x uint64) uint64 {
+	return t.tables[0][byte(x)] ^
+		t.tables[1][byte(x>>8)] ^
+		t.tables[2][byte(x>>16)] ^
+		t.tables[3][byte(x>>24)] ^
+		t.tables[4][byte(x>>32)] ^
+		t.tables[5][byte(x>>40)] ^
+		t.tables[6][byte(x>>48)] ^
+		t.tables[7][byte(x>>56)]
+}
+
+// Bits reports the number of significant output bits.
+func (t *Tabulation64) Bits() int { return 64 }

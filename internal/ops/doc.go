@@ -1,0 +1,12 @@
+// Package ops implements the distributed operations the checkers verify,
+// following Thrill's operation vocabulary (Section 1/2 of the paper):
+// ReduceByKey (sum/count aggregation), GroupByKey, sample Sort, Merge,
+// Zip, Union, hash Join, and the derived aggregations MinByKey,
+// MaxByKey, MedianByKey and AverageByKey.
+//
+// Every operation is SPMD: it is called with a dist.Worker and this PE's
+// local share of the input, and returns this PE's local share of the
+// output. Operations are deliberately independent of the checkers — the
+// checkers treat them as black boxes (invasive checkers observe only the
+// declared redistribution interfaces).
+package ops

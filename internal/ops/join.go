@@ -1,0 +1,71 @@
+package ops
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// JoinRow is one match of an inner join: a key present in both inputs
+// with one value from each side.
+type JoinRow struct {
+	Key   uint64
+	Left  uint64
+	Right uint64
+}
+
+// Join computes the inner hash join of two distributed (key, value)
+// relations (Section 6.5.4): both sides are hash partitioned by key with
+// the same partitioner, then joined locally. Each PE returns its share
+// of the result sorted by (key, left, right).
+func Join(w *dist.Worker, pt Partitioner, left, right []data.Pair) ([]JoinRow, error) {
+	gotL, err := exchangePairsByKey(w, pt, left)
+	if err != nil {
+		return nil, err
+	}
+	gotR, err := exchangePairsByKey(w, pt, right)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[uint64][]uint64, len(gotL))
+	for _, p := range gotL {
+		build[p.Key] = append(build[p.Key], p.Value)
+	}
+	var out []JoinRow
+	for _, p := range gotR {
+		for _, lv := range build[p.Key] {
+			out = append(out, JoinRow{Key: p.Key, Left: lv, Right: p.Value})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out, nil
+}
+
+// RedistInputs captures the redistribution phase of a key-partitioned
+// operation (GroupBy, Join) for the invasive checkers of Section 6.5:
+// the pairs a PE held before the exchange and the pairs it holds after.
+type RedistInputs struct {
+	Before []data.Pair
+	After  []data.Pair
+}
+
+// RedistributeByKey performs only the redistribution phase of
+// GroupBy/Join and reports before/after, so invasive checkers can verify
+// the data movement while the caller applies its own local group or join
+// logic afterwards.
+func RedistributeByKey(w *dist.Worker, pt Partitioner, local []data.Pair) (RedistInputs, error) {
+	after, err := exchangePairsByKey(w, pt, local)
+	if err != nil {
+		return RedistInputs{}, err
+	}
+	return RedistInputs{Before: local, After: after}, nil
+}

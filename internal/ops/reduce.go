@@ -1,0 +1,78 @@
+package ops
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// ReduceFn combines two values of the same key. It must be associative
+// and commutative (Section 4).
+type ReduceFn func(a, b uint64) uint64
+
+// SumFn adds with wraparound in Z/2^64Z.
+func SumFn(a, b uint64) uint64 { return a + b }
+
+// XorFn combines bitwise, the other operator Theorem 1 covers.
+func XorFn(a, b uint64) uint64 { return a ^ b }
+
+// ReduceByKey aggregates all (key, value) pairs with the same key using
+// fn, as in Section 2 "Reduction": local hash-table combine, hash
+// partition all-to-all, final local combine. The result is hash
+// partitioned over the PEs; each PE returns its share sorted by key.
+func ReduceByKey(w *dist.Worker, pt Partitioner, local []data.Pair, fn ReduceFn) ([]data.Pair, error) {
+	combined := combineLocal(local, fn)
+	received, err := exchangePairsByKey(w, pt, combined)
+	if err != nil {
+		return nil, err
+	}
+	out := combineLocal(received, fn)
+	data.SortPairsByKey(out)
+	return out, nil
+}
+
+// combineLocal folds pairs with equal keys using fn.
+func combineLocal(ps []data.Pair, fn ReduceFn) []data.Pair {
+	m := make(map[uint64]uint64, len(ps))
+	for _, p := range ps {
+		if v, ok := m[p.Key]; ok {
+			m[p.Key] = fn(v, p.Value)
+		} else {
+			m[p.Key] = p.Value
+		}
+	}
+	out := make([]data.Pair, 0, len(m))
+	for k, v := range m {
+		out = append(out, data.Pair{Key: k, Value: v})
+	}
+	return out
+}
+
+// Group is one key with all of its values collected.
+type Group struct {
+	Key    uint64
+	Values []uint64
+}
+
+// GroupByKey routes all pairs of a key to one PE (Section 2 "GroupBy")
+// and returns this PE's groups sorted by key. Values within a group are
+// sorted, which fixes a deterministic processing order for the group
+// function.
+func GroupByKey(w *dist.Worker, pt Partitioner, local []data.Pair) ([]Group, error) {
+	received, err := exchangePairsByKey(w, pt, local)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[uint64][]uint64)
+	for _, p := range received {
+		m[p.Key] = append(m[p.Key], p.Value)
+	}
+	out := make([]Group, 0, len(m))
+	for k, vs := range m {
+		data.SortU64(vs)
+		out = append(out, Group{Key: k, Values: vs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

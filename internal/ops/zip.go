@@ -1,0 +1,129 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// globalOffsets returns this PE's starting global index for a local
+// share of size n, the global total, and the start offset of every PE.
+func globalOffsets(w *dist.Worker, n int) (start, total uint64, starts []uint64, err error) {
+	parts, err := w.Coll.AllGather([]uint64{uint64(n)})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	starts = make([]uint64, w.Size())
+	var acc uint64
+	for r := 0; r < w.Size(); r++ {
+		starts[r] = acc
+		acc += parts[r][0]
+	}
+	return starts[w.Rank()], acc, starts, nil
+}
+
+// Zip pairs two distributed sequences index-wise (Section 6.4). The
+// sequences may be distributed differently; the second is redistributed
+// to match the first. PE i returns pairs for its share of the first
+// sequence, in order.
+func Zip(w *dist.Worker, a, b []uint64) ([]data.Pair, error) {
+	_, aTotal, aStarts, err := globalOffsets(w, len(a))
+	if err != nil {
+		return nil, err
+	}
+	bStart, bTotal, _, err := globalOffsets(w, len(b))
+	if err != nil {
+		return nil, err
+	}
+	if aTotal != bTotal {
+		return nil, fmt.Errorf("ops: Zip length mismatch: %d vs %d", aTotal, bTotal)
+	}
+	p := w.Size()
+	aEnd := func(r int) uint64 {
+		if r+1 < p {
+			return aStarts[r+1]
+		}
+		return aTotal
+	}
+	// Route each local b element to the PE owning that global index in
+	// a's distribution. Global indices increase with the loop, so the
+	// destination rank only moves forward.
+	parts := make([][]uint64, p)
+	dst := 0
+	for i, x := range b {
+		g := bStart + uint64(i)
+		for dst < p-1 && g >= aEnd(dst) {
+			dst++
+		}
+		parts[dst] = append(parts[dst], x)
+	}
+	got, err := w.Coll.AllToAll(parts)
+	if err != nil {
+		return nil, err
+	}
+	// Sources arrive in rank order, which for contiguous b shares is
+	// also global-index order.
+	matched := make([]uint64, 0, len(a))
+	for _, ws := range got {
+		matched = append(matched, ws...)
+	}
+	if len(matched) != len(a) {
+		return nil, fmt.Errorf("ops: Zip redistribution produced %d elements for %d slots", len(matched), len(a))
+	}
+	out := make([]data.Pair, len(a))
+	for i := range a {
+		out[i] = data.Pair{Key: a[i], Value: matched[i]}
+	}
+	return out, nil
+}
+
+// Union combines two distributed sequences into one holding every
+// element of both (a multiset union), rebalanced so every PE holds an
+// even share. Like Thrill's Union it gives no order guarantee — the
+// checker (Corollary 12) verifies it as a permutation of the
+// concatenation.
+func Union(w *dist.Worker, a, b []uint64) ([]uint64, error) {
+	aStart, aTotal, _, err := globalOffsets(w, len(a))
+	if err != nil {
+		return nil, err
+	}
+	bStart, bTotal, _, err := globalOffsets(w, len(b))
+	if err != nil {
+		return nil, err
+	}
+	p := w.Size()
+	total := int(aTotal + bTotal)
+	base := total / p
+	rem := total % p
+	bigSpan := uint64(rem) * uint64(base+1)
+	// destOf inverts data.SplitEven: the first rem PEs hold base+1
+	// elements, the rest hold base.
+	destOf := func(g uint64) int {
+		if g < bigSpan {
+			return int(g / uint64(base+1))
+		}
+		if base == 0 {
+			return p - 1
+		}
+		return rem + int((g-bigSpan)/uint64(base))
+	}
+	parts := make([][]uint64, p)
+	for i, x := range a {
+		d := destOf(aStart + uint64(i))
+		parts[d] = append(parts[d], x)
+	}
+	for i, x := range b {
+		d := destOf(aTotal + bStart + uint64(i))
+		parts[d] = append(parts[d], x)
+	}
+	got, err := w.Coll.AllToAll(parts)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ws := range got {
+		out = append(out, ws...)
+	}
+	return out, nil
+}

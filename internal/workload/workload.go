@@ -1,0 +1,173 @@
+// Package workload generates the synthetic inputs of the paper's
+// experiments: power-law (Zipf) distributed keys — "this distribution
+// naturally models many workloads, e.g. wordcount over natural
+// languages" (Section 7.1) — and uniform integers (Section 7.2).
+package workload
+
+import (
+	"repro/internal/data"
+	"repro/internal/hashing"
+)
+
+// Zipf samples ranks 1..N with probability f(k;N) = 1/(k*H_N), the
+// distribution of Section 7.1. Sampling uses Walker/Vose alias tables:
+// O(N) setup, O(1) per sample.
+type Zipf struct {
+	n     int
+	prob  []float64 // scaled acceptance probabilities
+	alias []int32
+	rng   *hashing.MT19937_64
+}
+
+// NewZipf builds a sampler for ranks 1..n driven by rng.
+func NewZipf(n int, rng *hashing.MT19937_64) *Zipf {
+	if n < 1 {
+		panic("workload: NewZipf requires n >= 1")
+	}
+	weights := make([]float64, n)
+	var h float64
+	for k := 1; k <= n; k++ {
+		w := 1 / float64(k)
+		weights[k-1] = w
+		h += w
+	}
+	z := &Zipf{n: n, prob: make([]float64, n), alias: make([]int32, n), rng: rng}
+	// Vose's alias method over probabilities weights[i]/h.
+	scaled := weights
+	for i := range scaled {
+		scaled[i] = scaled[i] / h * float64(n)
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		z.prob[s] = scaled[s]
+		z.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		z.prob[l] = 1
+		z.alias[l] = l
+	}
+	for _, s := range small {
+		z.prob[s] = 1
+		z.alias[s] = s
+	}
+	return z
+}
+
+// N returns the size of the rank universe.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws one rank in 1..N.
+func (z *Zipf) Sample() uint64 { return z.SampleR(z.rng) }
+
+// SampleR draws one rank using the provided generator. The alias tables
+// are read-only after construction, so a single Zipf may be shared by
+// many goroutines as long as each supplies its own rng.
+func (z *Zipf) SampleR(rng *hashing.MT19937_64) uint64 {
+	i := int(rng.Uint64n(uint64(z.n)))
+	if rng.Float64() < z.prob[i] {
+		return uint64(i) + 1
+	}
+	return uint64(z.alias[i]) + 1
+}
+
+// ZipfPairs generates n (key, value) pairs whose keys are Zipf ranks over
+// universe 1..universe and whose values are uniform in [0, valueMax)
+// (valueMax 0 means "value = 1", i.e. a count workload).
+func ZipfPairs(n, universe int, valueMax uint64, seed uint64) []data.Pair {
+	rng := hashing.NewMT19937_64(seed)
+	z := NewZipf(universe, rng)
+	out := make([]data.Pair, n)
+	for i := range out {
+		v := uint64(1)
+		if valueMax > 0 {
+			v = rng.Uint64n(valueMax)
+		}
+		out[i] = data.Pair{Key: z.Sample(), Value: v}
+	}
+	return out
+}
+
+// UniformU64s generates n values uniform in [0, max).
+func UniformU64s(n int, max uint64, seed uint64) []uint64 {
+	rng := hashing.NewMT19937_64(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64n(max)
+	}
+	return out
+}
+
+// UniformPairs generates n pairs with keys uniform in [0, keyMax) and
+// values uniform in [0, valueMax).
+func UniformPairs(n int, keyMax, valueMax uint64, seed uint64) []data.Pair {
+	rng := hashing.NewMT19937_64(seed)
+	out := make([]data.Pair, n)
+	for i := range out {
+		out[i] = data.Pair{Key: rng.Uint64n(keyMax), Value: rng.Uint64n(valueMax)}
+	}
+	return out
+}
+
+// DistinctU64s generates n distinct values (uniform draws with
+// collision retry over a universe at least 4x larger than n).
+func DistinctU64s(n int, seed uint64) []uint64 {
+	rng := hashing.NewMT19937_64(seed)
+	max := uint64(4 * n)
+	if max < 16 {
+		max = 16
+	}
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		v := rng.Uint64n(max)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Words returns n synthetic words following the Zipf distribution over a
+// vocabulary of the given size, for the wordcount example.
+func Words(n, vocabulary int, seed uint64) []string {
+	rng := hashing.NewMT19937_64(seed)
+	z := NewZipf(vocabulary, rng)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = wordName(z.Sample())
+	}
+	return out
+}
+
+func wordName(rank uint64) string {
+	// Deterministic pseudo-words: base-26 encoding of the rank.
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 0, 8)
+	for {
+		buf = append(buf, letters[rank%26])
+		rank /= 26
+		if rank == 0 {
+			break
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,384 @@
+// Package repro is the public façade of the reproduction of
+// "Communication Efficient Checking of Big Data Operations"
+// (Hübschle-Schneider and Sanders): a data-parallel framework in the
+// style of Thrill whose operations are verified by communication
+// efficient probabilistic checkers.
+//
+// The checked operations below mirror the paper's integration model:
+// each runs the distributed operation and immediately verifies it with
+// the matching checker, returning ErrCheckFailed when the verdict is
+// negative. Checkers have one-sided error — correct results are never
+// rejected — and add o(n/p) bottleneck communication volume.
+//
+// Quick start:
+//
+//	err := repro.Run(4, 42, func(w *repro.Worker) error {
+//		local := myShareOfInput(w.Rank())
+//		sums, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), local, repro.SumFn)
+//		...
+//	})
+//
+// See examples/ for runnable programs and internal/exp for the
+// experiment harness that regenerates the paper's tables and figures.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+)
+
+// ErrCheckFailed reports that a checker rejected an operation's result:
+// with probability at least 1-delta the computation was incorrect.
+var ErrCheckFailed = errors.New("repro: checker rejected the operation result")
+
+// Re-exported building blocks, so applications only import this
+// package.
+type (
+	// Pair is a (key, value) record.
+	Pair = data.Pair
+	// Triple is a (key, sum, count) record of average aggregation.
+	Triple = data.Triple
+	// Worker is one PE's execution context inside Run.
+	Worker = dist.Worker
+	// ReduceFn combines two values of equal keys.
+	ReduceFn = ops.ReduceFn
+	// JoinRow is one inner-join match.
+	JoinRow = ops.JoinRow
+	// MinMaxResult is the replicated result + witness certificate of
+	// min/max aggregation.
+	MinMaxResult = ops.MinMaxResult
+	// SumConfig configures sum aggregation checkers (Table 3 syntax).
+	SumConfig = core.SumConfig
+	// PermConfig configures permutation/sort checkers.
+	PermConfig = core.PermConfig
+)
+
+// SumFn adds values (wrapping); XorFn combines bitwise.
+var (
+	SumFn = ops.SumFn
+	XorFn = ops.XorFn
+)
+
+// Run executes body on p PEs over an in-memory network; see dist.Run.
+func Run(p int, seed uint64, body func(w *Worker) error) error {
+	return dist.Run(p, seed, body)
+}
+
+// Options selects checker configurations for the checked operations.
+type Options struct {
+	// Sum parameterises sum/count/average/median checking.
+	Sum core.SumConfig
+	// Perm parameterises permutation/sort/union/merge/redistribution
+	// checking.
+	Perm core.PermConfig
+	// Zip parameterises zip checking.
+	Zip core.ZipConfig
+}
+
+// DefaultOptions returns a configuration with failure probability below
+// 1e-9 for every checker at modest cost (the paper's "6×32 CRC m9"
+// scaling configuration and a 32-bit two-iteration fingerprint).
+func DefaultOptions() Options {
+	return Options{
+		Sum:  core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
+		Perm: core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 2},
+		Zip:  core.ZipConfig{Iterations: 2},
+	}
+}
+
+// CheckSum verifies an asserted sum aggregation result against its
+// input without re-running the operation — the pure checker interface
+// for outputs produced elsewhere (Theorem 1).
+func CheckSum(w *Worker, opts Options, input, output []Pair) (bool, error) {
+	return core.CheckSumAgg(w, opts.Sum, input, output)
+}
+
+// CheckSorted verifies that output is a sorted permutation of input
+// without re-running the sort (Theorem 7).
+func CheckSorted(w *Worker, opts Options, input, output []uint64) (bool, error) {
+	return core.CheckSorted(w, opts.Perm, input, output)
+}
+
+// partitioner derives a shared hash partitioner for this run.
+func partitioner(w *Worker) (ops.Partitioner, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return ops.Partitioner{}, err
+	}
+	return ops.NewPartitioner(seed, w.Size()), nil
+}
+
+// ReduceByKeyChecked aggregates values per key with fn and verifies the
+// result with the sum aggregation checker (Theorem 1). fn must satisfy
+// the checker's requirements: associative, commutative, and
+// x⊕y ≠ x for y ≠ 0 — SumFn and XorFn qualify.
+func ReduceByKeyChecked(w *Worker, opts Options, local []Pair, fn ReduceFn) ([]Pair, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ops.ReduceByKey(w, pt, local, fn)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckSumAgg(w, opts.Sum, local, out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("ReduceByKey: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// SortChecked sorts a distributed sequence and verifies the result with
+// the sort checker (Theorem 7).
+func SortChecked(w *Worker, opts Options, local []uint64) ([]uint64, error) {
+	out, err := ops.Sort(w, local)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckSorted(w, opts.Perm, local, out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("Sort: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// MergeChecked merges two sorted distributed sequences and verifies the
+// result (Corollary 13).
+func MergeChecked(w *Worker, opts Options, a, b []uint64) ([]uint64, error) {
+	out, err := ops.Merge(w, a, b)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckMerge(w, opts.Perm, a, b, out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("Merge: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// UnionChecked combines two distributed sequences and verifies the
+// result (Corollary 12).
+func UnionChecked(w *Worker, opts Options, a, b []uint64) ([]uint64, error) {
+	out, err := ops.Union(w, a, b)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckUnion(w, opts.Perm, a, b, out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("Union: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// ZipChecked zips two distributed sequences index-wise and verifies the
+// result (Theorem 11).
+func ZipChecked(w *Worker, opts Options, a, b []uint64) ([]Pair, error) {
+	out, err := ops.Zip(w, a, b)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckZip(w, opts.Zip, a, b, out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("Zip: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// MinByKeyChecked computes per-key minima and verifies them with the
+// deterministic certificate checker (Theorem 9). The result and witness
+// certificate are replicated at every PE, as the checker requires.
+func MinByKeyChecked(w *Worker, opts Options, local []Pair) (MinMaxResult, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	res, err := ops.MinByKey(w, pt, local)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	ok, err := core.CheckMinAgg(w, local, res.Result, res.Witness)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	if !ok {
+		return MinMaxResult{}, fmt.Errorf("MinByKey: %w", ErrCheckFailed)
+	}
+	return res, nil
+}
+
+// MaxByKeyChecked computes per-key maxima; see MinByKeyChecked.
+func MaxByKeyChecked(w *Worker, opts Options, local []Pair) (MinMaxResult, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	res, err := ops.MaxByKey(w, pt, local)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	ok, err := core.CheckMaxAgg(w, local, res.Result, res.Witness)
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	if !ok {
+		return MinMaxResult{}, fmt.Errorf("MaxByKey: %w", ErrCheckFailed)
+	}
+	return res, nil
+}
+
+// MedianByKeyChecked computes per-key medians (returned as doubled
+// values, replicated at every PE) and verifies them with the median
+// checker using tie-breaking certificates (Theorem 10). Works for
+// arbitrary, also non-unique, values.
+func MedianByKeyChecked(w *Worker, opts Options, local []Pair) ([]Pair, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := ops.GroupByKey(w, pt, local)
+	if err != nil {
+		return nil, err
+	}
+	// Derive medians and tie certificates from the grouped values, then
+	// replicate both.
+	flat := make([]uint64, 0, 6*len(groups))
+	for _, g := range groups {
+		m2 := ops.MedianOfSorted2(g.Values)
+		tc := core.ComputeTieCert(g.Values, m2)
+		flat = append(flat, g.Key, m2, tc.EqLow, tc.EqHigh, tc.AtSlot)
+	}
+	all, err := w.Coll.AllGather(flat)
+	if err != nil {
+		return nil, err
+	}
+	var medians []Pair
+	ties := make(map[uint64]core.TieCert)
+	for _, ws := range all {
+		for i := 0; i+5 <= len(ws); i += 5 {
+			medians = append(medians, Pair{Key: ws[i], Value: ws[i+1]})
+			ties[ws[i]] = core.TieCert{EqLow: ws[i+2], EqHigh: ws[i+3], AtSlot: ws[i+4]}
+		}
+	}
+	data.SortPairsByKey(medians)
+	ok, err := core.CheckMedianAggTies(w, opts.Sum, local, medians, ties)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("MedianByKey: %w", ErrCheckFailed)
+	}
+	return medians, nil
+}
+
+// AverageByKeyChecked computes per-key averages as (key, sum, count)
+// triples — the count doubling as the Corollary 8 certificate — and
+// verifies them with the average checker. The result stays distributed.
+func AverageByKeyChecked(w *Worker, opts Options, local []Pair) ([]Triple, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ops.AverageByKey(w, pt, local)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckAvgAgg(w, opts.Sum, local, core.AvgAssertionsFromTriples(out))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("AverageByKey: %w", ErrCheckFailed)
+	}
+	return out, nil
+}
+
+// JoinChecked computes the inner hash join of two relations with the
+// redistribution phase verified invasively (Corollary 15); the local
+// join logic itself is deterministic local work outside the checker's
+// scope, per the paper.
+func JoinChecked(w *Worker, opts Options, left, right []Pair) ([]JoinRow, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return nil, err
+	}
+	redL, err := ops.RedistributeByKey(w, pt, left)
+	if err != nil {
+		return nil, err
+	}
+	redR, err := ops.RedistributeByKey(w, pt, right)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckJoinRedistribution(w, opts.Perm, pt, redL.Before, redL.After, redR.Before, redR.After)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("Join: %w", ErrCheckFailed)
+	}
+	// Local join on the verified redistribution.
+	build := make(map[uint64][]uint64, len(redL.After))
+	for _, p := range redL.After {
+		build[p.Key] = append(build[p.Key], p.Value)
+	}
+	var rows []JoinRow
+	for _, p := range redR.After {
+		for _, lv := range build[p.Key] {
+			rows = append(rows, JoinRow{Key: p.Key, Left: lv, Right: p.Value})
+		}
+	}
+	return rows, nil
+}
+
+// GroupByKeyChecked groups all values per key with the redistribution
+// phase verified invasively (Corollary 14).
+func GroupByKeyChecked(w *Worker, opts Options, local []Pair) ([]ops.Group, error) {
+	pt, err := partitioner(w)
+	if err != nil {
+		return nil, err
+	}
+	red, err := ops.RedistributeByKey(w, pt, local)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := core.CheckRedistribution(w, opts.Perm, pt, red.Before, red.After)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("GroupByKey: %w", ErrCheckFailed)
+	}
+	m := make(map[uint64][]uint64)
+	for _, p := range red.After {
+		m[p.Key] = append(m[p.Key], p.Value)
+	}
+	groups := make([]ops.Group, 0, len(m))
+	for k, vs := range m {
+		data.SortU64(vs)
+		groups = append(groups, ops.Group{Key: k, Values: vs})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	return groups, nil
+}

@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/workload"
+)
+
+func shard(ps []Pair, p, r int) []Pair {
+	s, e := data.SplitEven(len(ps), p, r)
+	return ps[s:e]
+}
+
+func shardU(xs []uint64, p, r int) []uint64 {
+	s, e := data.SplitEven(len(xs), p, r)
+	return xs[s:e]
+}
+
+func TestReduceByKeyChecked(t *testing.T) {
+	global := workload.ZipfPairs(3000, 300, 1000, 1)
+	want := data.PairsToMapSum(global)
+	const p = 4
+	total := make(map[uint64]uint64)
+	err := Run(p, 1, func(w *Worker) error {
+		out, err := ReduceByKeyChecked(w, DefaultOptions(), shard(global, p, w.Rank()), SumFn)
+		if err != nil {
+			return err
+		}
+		flat := make([]uint64, 0, 2*len(out))
+		for _, pr := range out {
+			flat = append(flat, pr.Key, pr.Value)
+		}
+		all, err := w.Coll.Gather(0, flat)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			for _, ws := range all {
+				for i := 0; i+2 <= len(ws); i += 2 {
+					total[ws[i]] = ws[i+1]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if total[k] != v {
+			t.Fatalf("key %d: %d, want %d", k, total[k], v)
+		}
+	}
+}
+
+func TestSortChecked(t *testing.T) {
+	global := workload.UniformU64s(3000, 1e9, 2)
+	const p = 4
+	err := Run(p, 1, func(w *Worker) error {
+		out, err := SortChecked(w, DefaultOptions(), shardU(global, p, w.Rank()))
+		if err != nil {
+			return err
+		}
+		if !data.IsSortedU64(out) {
+			t.Errorf("rank %d share not sorted", w.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAndUnionChecked(t *testing.T) {
+	a := workload.UniformU64s(1000, 1e9, 3)
+	b := workload.UniformU64s(1400, 1e9, 4)
+	data.SortU64(a)
+	data.SortU64(b)
+	const p = 3
+	err := Run(p, 1, func(w *Worker) error {
+		if _, err := MergeChecked(w, DefaultOptions(), shardU(a, p, w.Rank()), shardU(b, p, w.Rank())); err != nil {
+			return err
+		}
+		_, err := UnionChecked(w, DefaultOptions(), shardU(a, p, w.Rank()), shardU(b, p, w.Rank()))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipChecked(t *testing.T) {
+	a := workload.UniformU64s(2000, 1e9, 5)
+	b := workload.UniformU64s(2000, 1e9, 6)
+	const p = 4
+	err := Run(p, 1, func(w *Worker) error {
+		out, err := ZipChecked(w, DefaultOptions(), shardU(a, p, w.Rank()), shardU(b, p, w.Rank()))
+		if err != nil {
+			return err
+		}
+		s, _ := data.SplitEven(len(a), p, w.Rank())
+		for i, pr := range out {
+			if pr.Key != a[s+i] || pr.Value != b[s+i] {
+				t.Errorf("rank %d pair %d mismatched", w.Rank(), i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMedianAverageChecked(t *testing.T) {
+	global := workload.UniformPairs(2000, 25, 1000, 7)
+	const p = 4
+	err := Run(p, 1, func(w *Worker) error {
+		local := shard(global, p, w.Rank())
+		if _, err := MinByKeyChecked(w, DefaultOptions(), local); err != nil {
+			return err
+		}
+		if _, err := MaxByKeyChecked(w, DefaultOptions(), local); err != nil {
+			return err
+		}
+		medians, err := MedianByKeyChecked(w, DefaultOptions(), local)
+		if err != nil {
+			return err
+		}
+		if len(medians) == 0 {
+			t.Error("no medians returned")
+		}
+		if _, err := AverageByKeyChecked(w, DefaultOptions(), local); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAndGroupByChecked(t *testing.T) {
+	left := workload.UniformPairs(800, 40, 100, 8)
+	right := workload.UniformPairs(600, 40, 100, 9)
+	const p = 3
+	err := Run(p, 1, func(w *Worker) error {
+		if _, err := JoinChecked(w, DefaultOptions(), shard(left, p, w.Rank()), shard(right, p, w.Rank())); err != nil {
+			return err
+		}
+		groups, err := GroupByKeyChecked(w, DefaultOptions(), shard(left, p, w.Rank()))
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(groups); i++ {
+			if groups[i-1].Key >= groups[i].Key {
+				t.Error("groups not sorted by key")
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// faultyReduce drops one key from a correct reduction, simulating a
+// silent error inside the operation; the checked wrapper must surface
+// ErrCheckFailed.
+func TestCheckedWrapperSurfacesFaults(t *testing.T) {
+	global := workload.ZipfPairs(1000, 100, 100, 10)
+	const p = 2
+	err := Run(p, 1, func(w *Worker) error {
+		local := shard(global, p, w.Rank())
+		// Run the real operation, then corrupt this PE's output share
+		// and verify directly via the checker used by the wrapper.
+		out, err := ReduceByKeyChecked(w, DefaultOptions(), local, SumFn)
+		if err != nil {
+			return err
+		}
+		bad := data.ClonePairs(out)
+		if w.Rank() == 0 && len(bad) > 0 {
+			bad[0].Value += 99
+		}
+		okErr := checkAgainst(w, local, bad)
+		if okErr == nil {
+			t.Error("corrupted output accepted")
+		} else if !errors.Is(okErr, ErrCheckFailed) {
+			return okErr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkAgainst runs the sum checker the way the wrapper does.
+func checkAgainst(w *Worker, input, output []Pair) error {
+	ok, err := CheckSum(w, DefaultOptions(), input, output)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrCheckFailed
+	}
+	return nil
+}
