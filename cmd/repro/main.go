@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/params"
 )
@@ -121,8 +122,22 @@ func runFig4(args []string) error {
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "timing repetitions")
 	pes := fs.String("pes", "", "comma-separated PE counts (default 1..512 doubling)")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	transport := fs.String("transport", "mem", "transport backend: mem, simnet, or tcp")
+	fs.DurationVar(&opt.Dist.Timeout, "timeout", 0,
+		"per-run communication deadline (0 = none), e.g. 90s; does not interrupt local computation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tr, err := dist.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	opt.Dist.Transport = tr
+	if tr == dist.TransportTCP && *pes == "" {
+		// The TCP mesh needs p(p-1)/2 loopback connections; the default
+		// sweep to 512 PEs would exhaust file descriptors. Cap it unless
+		// the user picks PE counts explicitly.
+		opt.PEs = []int{1, 2, 4, 8, 16}
 	}
 	if *pes != "" {
 		parsed, err := parseInts(*pes)

@@ -1,9 +1,12 @@
 // Quickstart: a distributed sum aggregation verified by the
 // communication efficient checker, plus a demonstration that a silently
-// corrupted result is rejected.
+// corrupted result is rejected. The -transport flag switches the run
+// between the in-memory, virtual-time, and TCP backends without
+// touching the SPMD body.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,11 +20,19 @@ func main() {
 		p        = 4      // processing elements (goroutines)
 		elements = 100000 // total (key, value) pairs
 	)
+	transport := flag.String("transport", "mem", "transport backend: mem, simnet, or tcp")
+	flag.Parse()
+	tr, err := repro.ParseTransport(*transport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.Config{Transport: tr}
+
 	// A power-law keyed workload, like word counts in natural language.
 	global := workload.ZipfPairs(elements, 10000, 100, 42)
 
-	fmt.Printf("sum-aggregating %d pairs on %d PEs with a checker (delta < 1e-9)\n", elements, p)
-	err := repro.Run(p, 1, func(w *repro.Worker) error {
+	fmt.Printf("sum-aggregating %d pairs on %d PEs over %s with a checker (delta < 1e-9)\n", elements, p, tr)
+	err = repro.RunConfig(cfg, p, 1, func(w *repro.Worker) error {
 		s, e := data.SplitEven(len(global), p, w.Rank())
 		out, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), global[s:e], repro.SumFn)
 		if err != nil {
@@ -39,7 +50,7 @@ func main() {
 	// Now corrupt one value of the asserted result — a "soft error" —
 	// and watch the checker catch it.
 	fmt.Println("\ninjecting a single off-by-one fault into the asserted result...")
-	err = repro.Run(p, 2, func(w *repro.Worker) error {
+	err = repro.RunConfig(cfg, p, 2, func(w *repro.Worker) error {
 		s, e := data.SplitEven(len(global), p, w.Rank())
 		local := global[s:e]
 		out, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), local, repro.SumFn)

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Transport names a point-to-point backend for RunConfig.
+type Transport string
+
+const (
+	// TransportMem is the in-memory channel network — the default, and
+	// the right choice for simulations with hundreds of PEs.
+	TransportMem Transport = "mem"
+	// TransportSim is the virtual-time network modeling the paper's
+	// alpha-beta communication cost (Section 2).
+	TransportSim Transport = "simnet"
+	// TransportTCP is the loopback TCP network (real sockets, gob
+	// framing), demonstrating transport agnosticism.
+	TransportTCP Transport = "tcp"
+)
+
+// ParseTransport converts a flag value into a Transport. It accepts
+// "mem" (alias "memory", ""), "simnet" (alias "sim"), and "tcp".
+func ParseTransport(s string) (Transport, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mem", "memory":
+		return TransportMem, nil
+	case "sim", "simnet":
+		return TransportSim, nil
+	case "tcp":
+		return TransportTCP, nil
+	}
+	return "", fmt.Errorf("dist: unknown transport %q (want mem, simnet, or tcp)", s)
+}
+
+// Default simnet parameters: 10 us startup latency, 1 GB/s bandwidth —
+// typical cluster interconnect figures (see comm.NewSimNetwork).
+const (
+	DefaultSimAlphaNs       = 10000
+	DefaultSimBetaNsPerByte = 1
+)
+
+// Config selects the transport backend and run limits for RunConfig.
+// The zero value runs over the in-memory network with no timeout, so
+// callers can set only the fields they care about.
+type Config struct {
+	// Transport picks the backend; empty means TransportMem.
+	Transport Transport
+	// SimAlphaNs is the simnet startup latency in nanoseconds; if both
+	// simnet parameters are zero, the defaults above apply.
+	SimAlphaNs float64
+	// SimBetaNsPerByte is the simnet per-byte transfer time.
+	SimBetaNsPerByte float64
+	// Timeout closes the network when exceeded, failing every worker at
+	// its next communication operation. It does not interrupt local
+	// computation: a compute-bound body only notices the deadline when
+	// it next touches the network. Zero means no deadline.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns the in-memory transport with the documented
+// simnet parameters pre-filled (so switching Transport alone works).
+func DefaultConfig() Config {
+	return Config{
+		Transport:        TransportMem,
+		SimAlphaNs:       DefaultSimAlphaNs,
+		SimBetaNsPerByte: DefaultSimBetaNsPerByte,
+	}
+}
+
+// NewNetwork builds the configured transport for p PEs. The caller owns
+// the returned network and must Close it.
+func (c Config) NewNetwork(p int) (comm.Network, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: network requires p >= 1, got %d", p)
+	}
+	switch c.Transport {
+	case "", TransportMem:
+		return comm.NewMemNetwork(p), nil
+	case TransportSim:
+		alpha, beta := c.SimAlphaNs, c.SimBetaNsPerByte
+		if alpha == 0 && beta == 0 {
+			alpha, beta = DefaultSimAlphaNs, DefaultSimBetaNsPerByte
+		}
+		return comm.NewSimNetwork(p, alpha, beta), nil
+	case TransportTCP:
+		return comm.NewTCPNetwork(p)
+	}
+	return nil, fmt.Errorf("dist: unknown transport %q (want mem, simnet, or tcp)", c.Transport)
+}
+
+// RunConfig executes body as p SPMD workers over the transport cfg
+// selects, tearing the network down when the run completes. If
+// cfg.Timeout elapses first, the network is closed — failing every
+// worker at its next communication — and the returned error reports
+// the timeout.
+func RunConfig(cfg Config, p int, seed uint64, body func(w *Worker) error) error {
+	net, err := cfg.NewNetwork(p)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	return RunNetworkTimeout(net, cfg.Timeout, seed, body)
+}
+
+// RunNetworkTimeout is RunNetwork with a deadline: when timeout (if
+// positive) elapses before the run completes, the network is closed —
+// failing every worker at its next communication — and the returned
+// error reports the timeout. Like RunNetwork, a successful run leaves
+// net open for reuse; a timed-out network must be discarded.
+func RunNetworkTimeout(net comm.Network, timeout time.Duration, seed uint64, body func(w *Worker) error) error {
+	if timeout <= 0 {
+		return RunNetwork(net, seed, body)
+	}
+	var timedOut atomic.Bool
+	timer := time.AfterFunc(timeout, func() {
+		timedOut.Store(true)
+		net.Close()
+	})
+	defer timer.Stop()
+	err := RunNetwork(net, seed, body)
+	if err != nil && timedOut.Load() {
+		return fmt.Errorf("dist: run exceeded %v timeout: %w", timeout, err)
+	}
+	return err
+}

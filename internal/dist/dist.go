@@ -1,0 +1,174 @@
+// Package dist is the SPMD execution runtime beneath the repro façade:
+// it turns a comm.Network of p endpoints into p worker goroutines, one
+// per processing element, each holding the execution context the
+// operations and checkers need — its rank, a collective communicator on
+// its endpoint, a private deterministic random generator, and a seed
+// shared by the whole run for keying the checkers' hash functions.
+//
+// The runtime follows the paper's machine model (Section 2): p PEs
+// execute the same program over a single-ported network; operations and
+// checkers are expressed purely against the Worker, so the same body
+// runs unchanged over the in-memory, virtual-time, TCP, and
+// fault-injecting transports.
+//
+// Failure semantics: the first worker to fail — by returning an error
+// or by panicking (recovered and converted) — closes the network, which
+// unblocks every peer stuck in a send or receive. Run and RunNetwork
+// wait for all workers to exit before returning the first failure, so
+// an erroring run leaks no goroutines.
+package dist
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/hashing"
+)
+
+// workerSeedGamma spaces per-rank RNG seeds (the SplitMix64 increment),
+// and commonSeedDomain separates the run-wide checker seed from them.
+const (
+	workerSeedGamma  = 0x9e3779b97f4a7c15
+	commonSeedDomain = 0x636f6d6d6f6e5364 // "commonSd"
+)
+
+// Worker is one PE's execution context inside Run or RunNetwork. A
+// Worker is owned by its PE goroutine and must not be shared.
+type Worker struct {
+	rank int
+	size int
+	seed uint64
+
+	// Coll issues the collective operations of Section 2 on this PE's
+	// endpoint. All PEs must call the same collective sequence.
+	Coll *collective.Comm
+	// Rng is this PE's private generator, derived deterministically from
+	// the run seed and rank, so a run's results depend only on (p, seed)
+	// and never on the transport or goroutine scheduling.
+	Rng *hashing.MT19937_64
+
+	commonSeed uint64
+	haveCommon bool
+}
+
+// Rank returns this PE's number in 0..Size()-1.
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the number of PEs p.
+func (w *Worker) Size() int { return w.size }
+
+// RunSeed returns the seed the run was started with (equal on all PEs).
+func (w *Worker) RunSeed() uint64 { return w.seed }
+
+// Endpoint exposes this PE's port into the network, e.g. for metrics.
+func (w *Worker) Endpoint() comm.Endpoint { return w.Coll.Endpoint() }
+
+// CommonSeed returns the run-wide seed all PEs share, from which the
+// checkers key their common hash functions. It is established once per
+// run by a broadcast from PE 0 and cached; like any collective, the
+// first call must happen at the same point of every PE's program. The
+// value is a pure function of the run seed, so runs over different
+// transports agree.
+func (w *Worker) CommonSeed() (uint64, error) {
+	if w.haveCommon {
+		return w.commonSeed, nil
+	}
+	got, err := w.Coll.BroadcastU64(0, hashing.Mix64(w.seed^commonSeedDomain))
+	if err != nil {
+		return 0, err
+	}
+	w.commonSeed, w.haveCommon = got, true
+	return got, nil
+}
+
+// workerSeed derives rank's private RNG seed from the run seed. Mix64
+// is a bijection and the gamma is odd, so distinct ranks always get
+// distinct, well-mixed seeds.
+func workerSeed(seed uint64, rank int) uint64 {
+	return hashing.Mix64(seed + workerSeedGamma*uint64(rank+1))
+}
+
+// newWorker builds rank's execution context over net.
+func newWorker(net comm.Network, rank int, seed uint64) *Worker {
+	return &Worker{
+		rank: rank,
+		size: net.Size(),
+		seed: seed,
+		Coll: collective.New(net.Endpoint(rank)),
+		Rng:  hashing.NewMT19937_64(workerSeed(seed, rank)),
+	}
+}
+
+// Run executes body as p SPMD workers over a fresh in-memory network,
+// which is torn down when the run completes. It returns the first
+// worker failure, or nil if every worker succeeded.
+func Run(p int, seed uint64, body func(w *Worker) error) error {
+	if p < 1 {
+		return fmt.Errorf("dist: Run requires p >= 1, got %d", p)
+	}
+	net := comm.NewMemNetwork(p)
+	defer net.Close()
+	return RunNetwork(net, seed, body)
+}
+
+// RunNetwork executes body as net.Size() SPMD workers over net, one
+// goroutine per endpoint. The caller keeps ownership of net: a
+// successful run leaves it open, so multi-phase harnesses can audit or
+// reset its metrics between phases and run again.
+//
+// If any worker fails, the network is closed to unblock its peers (they
+// fail fast with comm.ErrClosed instead of deadlocking), all workers
+// are awaited, and the first failure is returned annotated with its
+// rank; a network that carried a failed run must not be reused. A panic
+// in body is recovered and reported as that worker's error.
+func RunNetwork(net comm.Network, seed uint64, body func(w *Worker) error) error {
+	p := net.Size()
+	if p < 1 {
+		return fmt.Errorf("dist: RunNetwork requires a network with p >= 1, got %d", p)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	// fail records err if it is the run's first failure and tears the
+	// network down. Peers subsequently failing on the closed network are
+	// consequences, not causes, and are dropped: the close happens under
+	// the same lock, so no ErrClosed fallout can precede the root cause.
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+			net.Close()
+		}
+	}
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := runBody(newWorker(net, rank, seed), body); err != nil {
+				fail(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runBody executes body on w, converting a panic into an error so one
+// PE's crash becomes an ordinary first-failure for the whole run.
+func runBody(w *Worker, body func(w *Worker) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("dist: worker %d panicked: %v\n%s", w.rank, v, debug.Stack())
+		}
+	}()
+	if err := body(w); err != nil {
+		return fmt.Errorf("dist: worker %d: %w", w.rank, err)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+)
+
+func TestRunBasic(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]bool)
+		err := Run(p, 42, func(w *Worker) error {
+			if w.Size() != p {
+				return fmt.Errorf("size %d, want %d", w.Size(), p)
+			}
+			mu.Lock()
+			seen[w.Rank()] = true
+			mu.Unlock()
+			sum, err := w.Coll.AllReduce([]uint64{uint64(w.Rank())}, collective.OpSum)
+			if err != nil {
+				return err
+			}
+			if want := uint64(p * (p - 1) / 2); sum[0] != want {
+				return fmt.Errorf("allreduce got %d, want %d", sum[0], want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(seen) != p {
+			t.Fatalf("p=%d: only %d distinct ranks ran", p, len(seen))
+		}
+	}
+}
+
+func TestRunRejectsBadP(t *testing.T) {
+	if err := Run(0, 1, func(w *Worker) error { return nil }); err == nil {
+		t.Fatal("Run(0, ...) succeeded")
+	}
+}
+
+// TestRunDeterministicGivenSeed runs the same body twice per seed and
+// requires identical per-PE RNG streams and common seeds; a different
+// run seed must change both.
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	const p = 4
+	observe := func(seed uint64) ([][]uint64, []uint64) {
+		draws := make([][]uint64, p)
+		commons := make([]uint64, p)
+		err := Run(p, seed, func(w *Worker) error {
+			for i := 0; i < 8; i++ {
+				draws[w.Rank()] = append(draws[w.Rank()], w.Rng.Uint64())
+			}
+			cs, err := w.CommonSeed()
+			if err != nil {
+				return err
+			}
+			commons[w.Rank()] = cs
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return draws, commons
+	}
+	d1, c1 := observe(7)
+	d2, c2 := observe(7)
+	d3, c3 := observe(8)
+	for r := 0; r < p; r++ {
+		for i := range d1[r] {
+			if d1[r][i] != d2[r][i] {
+				t.Fatalf("rank %d draw %d differs across identical seeds", r, i)
+			}
+		}
+		if c1[r] != c2[r] {
+			t.Fatalf("rank %d common seed differs across identical seeds", r)
+		}
+	}
+	if d1[0][0] == d3[0][0] && d1[1][0] == d3[1][0] {
+		t.Fatal("different run seeds produced identical RNG streams")
+	}
+	if c1[0] == c3[0] {
+		t.Fatal("different run seeds produced identical common seeds")
+	}
+	// Distinct ranks must have distinct streams.
+	if d1[0][0] == d1[1][0] && d1[0][1] == d1[1][1] {
+		t.Fatal("ranks 0 and 1 share an RNG stream")
+	}
+}
+
+// TestCommonSeedAgreement checks that every PE sees the same common
+// seed, that repeated calls return the cached value, and that the value
+// is transport independent, as the checkers' hash agreement requires.
+func TestCommonSeedAgreement(t *testing.T) {
+	const p = 3
+	const seed = 99
+	collect := func(net comm.Network) []uint64 {
+		vals := make([]uint64, p)
+		err := RunNetwork(net, seed, func(w *Worker) error {
+			first, err := w.CommonSeed()
+			if err != nil {
+				return err
+			}
+			again, err := w.CommonSeed()
+			if err != nil {
+				return err
+			}
+			if first != again {
+				return fmt.Errorf("rank %d: CommonSeed not stable: %d then %d", w.Rank(), first, again)
+			}
+			vals[w.Rank()] = first
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	mem := comm.NewMemNetwork(p)
+	defer mem.Close()
+	sim := comm.NewSimNetwork(p, 1000, 1)
+	defer sim.Close()
+	memVals := collect(mem)
+	simVals := collect(sim)
+	for r := 1; r < p; r++ {
+		if memVals[r] != memVals[0] {
+			t.Fatalf("rank %d common seed %d != rank 0's %d", r, memVals[r], memVals[0])
+		}
+	}
+	if simVals[0] != memVals[0] {
+		t.Fatalf("common seed differs across transports: sim %d, mem %d", simVals[0], memVals[0])
+	}
+}
+
+// TestFirstErrorPropagation fails one worker while its peers block in a
+// collective; the failure must tear the run down promptly (well under
+// the comm.RecvTimeout deadlock backstop) and surface the root cause,
+// not the peers' secondary closed-network errors.
+func TestFirstErrorPropagation(t *testing.T) {
+	sentinel := errors.New("worker 2 gave up")
+	start := time.Now()
+	err := Run(4, 1, func(w *Worker) error {
+		if w.Rank() == 2 {
+			return sentinel
+		}
+		// Peers enter a barrier rank 2 never joins: without teardown
+		// they would block until the recv timeout.
+		if err := w.Coll.Barrier(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the sentinel error", err)
+	}
+	if !strings.Contains(err.Error(), "worker 2") {
+		t.Fatalf("error %q does not name the failing rank", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("teardown took %v; peers were not unblocked", elapsed)
+	}
+}
+
+// TestPanicRecovered converts a worker panic into an ordinary error and
+// still unblocks the surviving PEs.
+func TestPanicRecovered(t *testing.T) {
+	err := Run(3, 1, func(w *Worker) error {
+		if w.Rank() == 1 {
+			panic("boom")
+		}
+		return w.Coll.Barrier()
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	if !strings.Contains(err.Error(), "worker 1 panicked") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error %q does not describe the panic", err)
+	}
+}
+
+// TestRunNetworkSim runs collectives over the virtual-time transport
+// and checks that modeled time advanced.
+func TestRunNetworkSim(t *testing.T) {
+	const p = 4
+	net := comm.NewSimNetwork(p, 1000, 1)
+	defer net.Close()
+	err := RunNetwork(net, 5, func(w *Worker) error {
+		sum, err := w.Coll.AllReduce([]uint64{uint64(w.Rank())}, collective.OpSum)
+		if err != nil {
+			return err
+		}
+		if want := uint64(p * (p - 1) / 2); sum[0] != want {
+			return fmt.Errorf("allreduce got %d, want %d", sum[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.MakespanNs() <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+}
+
+// TestRunNetworkFaulty drives RunNetwork over the fault-injecting
+// transport: an out-of-range target behaves like a clean network, and a
+// sweep of in-range targets must always terminate — either the run
+// fails fast (a corrupted length or header) or it completes.
+func TestRunNetworkFaulty(t *testing.T) {
+	const p = 3
+	body := func(w *Worker) error {
+		_, err := w.Coll.AllGather([]uint64{uint64(w.Rank()), uint64(w.Rank() * 10)})
+		return err
+	}
+	clean := comm.NewFaultyNetwork(comm.NewMemNetwork(p), 1<<40, 3)
+	if err := RunNetwork(clean, 2, body); err != nil {
+		t.Fatalf("out-of-range fault target broke a clean run: %v", err)
+	}
+	if clean.DidInject() {
+		t.Fatal("fault injected despite out-of-range target")
+	}
+	clean.Close()
+	injected := 0
+	for target := int64(1); target <= 10; target++ {
+		net := comm.NewFaultyNetwork(comm.NewMemNetwork(p), target, 3)
+		_ = RunNetwork(net, uint64(target), body) // may fail; must return
+		if net.DidInject() {
+			injected++
+		}
+		net.Close()
+	}
+	if injected == 0 {
+		t.Fatal("fault sweep never landed a corruption")
+	}
+}
+
+// TestNoGoroutineLeakAfterErrors hammers the error path — the one that
+// tears networks down with peers mid-collective — and checks the
+// goroutine count returns to baseline.
+func TestNoGoroutineLeakAfterErrors(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sentinel := errors.New("fail")
+	for i := 0; i < 25; i++ {
+		err := Run(5, uint64(i), func(w *Worker) error {
+			if w.Rank() == i%5 {
+				return sentinel
+			}
+			return w.Coll.Barrier()
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("iteration %d: got %v", i, err)
+		}
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d at baseline, %d now", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestParseTransport(t *testing.T) {
+	for in, want := range map[string]Transport{
+		"":       TransportMem,
+		"mem":    TransportMem,
+		"Memory": TransportMem,
+		"sim":    TransportSim,
+		"simnet": TransportSim,
+		"TCP":    TransportTCP,
+	} {
+		got, err := ParseTransport(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseTransport(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+}
+
+// TestRunConfigTransports runs the same body over every backend.
+func TestRunConfigTransports(t *testing.T) {
+	const p = 3
+	for _, tr := range []Transport{TransportMem, TransportSim, TransportTCP} {
+		cfg := Config{Transport: tr}
+		err := RunConfig(cfg, p, 11, func(w *Worker) error {
+			sum, err := w.Coll.AllReduce([]uint64{uint64(w.Rank())}, collective.OpSum)
+			if err != nil {
+				return err
+			}
+			if want := uint64(p * (p - 1) / 2); sum[0] != want {
+				return fmt.Errorf("allreduce got %d, want %d", sum[0], want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("transport %s: %v", tr, err)
+		}
+	}
+}
+
+// TestRunConfigTimeout deadlocks one PE on purpose; the configured
+// deadline must close the network and report the timeout long before
+// the comm.RecvTimeout backstop.
+func TestRunConfigTimeout(t *testing.T) {
+	cfg := Config{Timeout: 150 * time.Millisecond}
+	start := time.Now()
+	err := RunConfig(cfg, 2, 1, func(w *Worker) error {
+		if w.Rank() == 1 {
+			// Wait for a message rank 0 never sends.
+			_, err := w.Coll.RecvTagged(0, 77)
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadlocked run reported success")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("error %q does not mention the timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v to fire", elapsed)
+	}
+}
+
+func TestConfigNewNetworkUnknown(t *testing.T) {
+	if _, err := (Config{Transport: "quantum"}).NewNetwork(2); err == nil {
+		t.Fatal("unknown transport produced a network")
+	}
+}

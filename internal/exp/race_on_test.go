@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation invalidates ns/element comparisons.
+const raceEnabled = true

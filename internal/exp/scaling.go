@@ -33,6 +33,10 @@ type WeakScalingOptions struct {
 	Repeats     int   // timing repetitions per point
 	Seed        uint64
 	Configs     []core.SumConfig // defaults to core.ScalingConfigs()
+	// Dist selects the transport the pipeline runs over; the zero value
+	// is the in-memory network. Wall-clock ratios are only meaningful on
+	// mem and tcp (simnet time is virtual), but every backend works.
+	Dist dist.Config
 }
 
 // DefaultWeakScalingOptions returns laptop-scale defaults.
@@ -85,11 +89,18 @@ func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
 }
 
 // timeReduce times the reduce(-and-check) pipeline, returning the mean
-// seconds over opt.Repeats runs (after one warm-up run).
+// seconds over opt.Repeats runs (after one warm-up run). The transport
+// is built once and reused across all repetitions — rebuilding e.g.
+// the O(p²) TCP mesh per run would dominate the timings being taken.
 func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.SumConfig) (float64, error) {
+	net, err := opt.Dist.NewNetwork(p)
+	if err != nil {
+		return 0, err
+	}
+	defer net.Close()
 	run := func(rep int) (time.Duration, error) {
 		var elapsed time.Duration
-		err := dist.Run(p, opt.Seed+uint64(rep)*7919, func(w *dist.Worker) error {
+		err := dist.RunNetworkTimeout(net, opt.Dist.Timeout, opt.Seed+uint64(rep)*7919, func(w *dist.Worker) error {
 			// Generate this PE's local share (generation excluded from
 			// timing via a barrier).
 			local := make([]data.Pair, opt.ItemsPerPE)

@@ -71,6 +71,31 @@ func Run(p int, seed uint64, body func(w *Worker) error) error {
 	return dist.Run(p, seed, body)
 }
 
+// Config selects the transport backend (mem, simnet, tcp) and run
+// limits for RunConfig; its zero value is the in-memory network with no
+// timeout. See dist.Config.
+type Config = dist.Config
+
+// Transport names a point-to-point backend for RunConfig.
+type Transport = dist.Transport
+
+// The available transports.
+const (
+	TransportMem = dist.TransportMem
+	TransportSim = dist.TransportSim
+	TransportTCP = dist.TransportTCP
+)
+
+// ParseTransport converts a flag value ("mem", "simnet", "tcp") into a
+// Transport.
+func ParseTransport(s string) (Transport, error) { return dist.ParseTransport(s) }
+
+// RunConfig executes body on p PEs over the transport cfg selects; see
+// dist.RunConfig.
+func RunConfig(cfg Config, p int, seed uint64, body func(w *Worker) error) error {
+	return dist.RunConfig(cfg, p, seed, body)
+}
+
 // Options selects checker configurations for the checked operations.
 type Options struct {
 	// Sum parameterises sum/count/average/median checking.
