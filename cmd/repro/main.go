@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro"
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/params"
@@ -99,6 +100,22 @@ func runTable2() error {
 	return nil
 }
 
+// transportFlags registers the shared -transport/-timeout flags and
+// returns a resolver that fills a dist.Config from the parsed values.
+func transportFlags(fs *flag.FlagSet, cfg *dist.Config) func() error {
+	transport := fs.String("transport", string(cfg.Transport), "transport backend: mem, simnet, or tcp")
+	fs.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout,
+		"per-run communication deadline (0 = none), e.g. 90s; does not interrupt local computation")
+	return func() error {
+		tr, err := dist.ParseTransport(*transport)
+		if err != nil {
+			return err
+		}
+		cfg.Transport = tr
+		return nil
+	}
+}
+
 func runFig3(args []string) error {
 	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
 	opt := exp.DefaultAccuracySumOptions()
@@ -107,10 +124,17 @@ func runFig3(args []string) error {
 	fs.IntVar(&opt.MinRuns, "min-runs", opt.MinRuns, "minimum trials per point")
 	fs.IntVar(&opt.MaxRuns, "max-runs", opt.MaxRuns, "maximum trials per point (paper: 100000)")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows := exp.AccuracySum(opt)
+	if err := resolve(); err != nil {
+		return err
+	}
+	rows, err := exp.AccuracySum(opt)
+	if err != nil {
+		return err
+	}
 	fmt.Print(exp.RenderAccuracy("Fig. 3: sum aggregation checker accuracy (failure rate / delta)", rows))
 	return nil
 }
@@ -122,18 +146,18 @@ func runFig4(args []string) error {
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "timing repetitions")
 	pes := fs.String("pes", "", "comma-separated PE counts (default 1..512 doubling)")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
-	transport := fs.String("transport", "mem", "transport backend: mem, simnet, or tcp")
-	fs.DurationVar(&opt.Dist.Timeout, "timeout", 0,
-		"per-run communication deadline (0 = none), e.g. 90s; does not interrupt local computation")
+	deferred := fs.Bool("deferred", false, "resolve checkers in one batched round per pipeline (CheckDeferred)")
+	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tr, err := dist.ParseTransport(*transport)
-	if err != nil {
+	if err := resolve(); err != nil {
 		return err
 	}
-	opt.Dist.Transport = tr
-	if tr == dist.TransportTCP && *pes == "" {
+	if *deferred {
+		opt.Mode = repro.CheckDeferred
+	}
+	if opt.Dist.Transport == dist.TransportTCP && *pes == "" {
 		// The TCP mesh needs p(p-1)/2 loopback connections; the default
 		// sweep to 512 PEs would exhaust file descriptors. Cap it unless
 		// the user picks PE counts explicitly.
@@ -161,10 +185,17 @@ func runFig5(args []string) error {
 	fs.IntVar(&opt.MinRuns, "min-runs", opt.MinRuns, "minimum trials per point")
 	fs.IntVar(&opt.MaxRuns, "max-runs", opt.MaxRuns, "maximum trials per point (paper: 100000)")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows := exp.AccuracyPerm(opt)
+	if err := resolve(); err != nil {
+		return err
+	}
+	rows, err := exp.AccuracyPerm(opt)
+	if err != nil {
+		return err
+	}
 	fmt.Print(exp.RenderAccuracy("Fig. 5: permutation/sort checker accuracy (failure rate / delta)", rows))
 	return nil
 }
@@ -198,7 +229,11 @@ func runCommVolume(args []string) error {
 	opt := exp.DefaultCommVolumeOptions()
 	fs.IntVar(&opt.P, "p", opt.P, "number of PEs")
 	ns := fs.String("ns", "", "comma-separated input sizes")
+	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolve(); err != nil {
 		return err
 	}
 	if *ns != "" {
@@ -223,7 +258,12 @@ func runModeled(args []string) error {
 	fs.Float64Var(&opt.AlphaNs, "alpha", opt.AlphaNs, "startup latency in ns")
 	fs.Float64Var(&opt.BetaNsPerB, "beta", opt.BetaNsPerB, "per-byte time in ns")
 	pes := fs.String("pes", "", "comma-separated PE counts (default 32..4096 doubling)")
+	opt.Dist.Transport = dist.TransportSim
+	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolve(); err != nil {
 		return err
 	}
 	if *pes != "" {

@@ -1,0 +1,794 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ops"
+)
+
+// CheckMode selects when the checkers of a Context's operations resolve
+// their collective rounds.
+type CheckMode int
+
+const (
+	// CheckEager resolves every operation's checker inline, immediately
+	// after the operation: k chained operations pay k serialized
+	// verification rounds. This is the default and matches the behavior
+	// of the deprecated XxxChecked wrappers.
+	CheckEager CheckMode = iota
+	// CheckDeferred runs only the checkers' local accumulation phase
+	// per operation and batches all pending collective rounds into a
+	// single all-reduction at Context.Verify — k chained operations
+	// resolve in ~1 round, and the verdict reports which stage failed.
+	CheckDeferred
+	// CheckOff skips all checker work (no accumulation, no
+	// communication) for baseline timing.
+	CheckOff
+)
+
+// String names the mode for stats output.
+func (m CheckMode) String() string {
+	switch m {
+	case CheckEager:
+		return "eager"
+	case CheckDeferred:
+		return "deferred"
+	case CheckOff:
+		return "off"
+	}
+	return fmt.Sprintf("CheckMode(%d)", int(m))
+}
+
+// Verdict is the outcome of one stage's checker.
+type Verdict int
+
+const (
+	// VerdictPending: the stage's checker state awaits Context.Verify.
+	VerdictPending Verdict = iota
+	// VerdictPass: the checker accepted the stage's result.
+	VerdictPass
+	// VerdictFail: the checker rejected the stage's result.
+	VerdictFail
+	// VerdictSkipped: checking was disabled (CheckOff).
+	VerdictSkipped
+	// VerdictError: the stage's operation or checker resolution failed
+	// with a communication error before a verdict could be reached.
+	VerdictError
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPending:
+		return "pending"
+	case VerdictPass:
+		return "pass"
+	case VerdictFail:
+		return "fail"
+	case VerdictSkipped:
+		return "skipped"
+	case VerdictError:
+		return "error"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// CheckStats instruments one pipeline stage on this PE: data volumes,
+// communication attributable to the operation versus its checker, wall
+// times, and the checker's verdict. Retrieve the entries with
+// Context.Stats; experiment harnesses use them instead of hand-rolled
+// network metering.
+type CheckStats struct {
+	// Stage is the unique stage label, e.g. "ReduceByKey#0".
+	Stage string
+	// Op is the operation name, e.g. "ReduceByKey".
+	Op string
+	// ElementsIn / ElementsOut count this PE's local input and output
+	// records of the operation.
+	ElementsIn  int
+	ElementsOut int
+	// OpBytes is how many bytes this PE sent while running the
+	// operation itself.
+	OpBytes int64
+	// OpNs is the operation's wall time on this PE in nanoseconds.
+	OpNs int64
+	// CheckerBytes is what this PE measurably sent on this stage's
+	// checker: the inline resolution in eager mode, plus any
+	// checker-side preparation (e.g. the zip checker's offset prefix
+	// sum) in every checking mode. A deferred stage's share of the
+	// batched Verify traffic is not included — it lives, measured once,
+	// in the batch's VerifySummary. Zero under CheckOff.
+	CheckerBytes int64
+	// CheckerMsgs counts messages behind CheckerBytes.
+	CheckerMsgs int64
+	// CheckerRounds counts collective operations behind CheckerBytes
+	// (deferred stages share the rounds reported in their
+	// VerifySummary).
+	CheckerRounds int
+	// BatchWords is how many 64-bit words (checker state plus flag)
+	// this stage contributed to its deferred Verify batch; zero in
+	// eager and off modes.
+	BatchWords int
+	// CheckNs is the checker's wall time on this PE: local accumulation
+	// plus, in eager mode, the inline resolution.
+	CheckNs int64
+	// Verdict is the checker's outcome for this stage.
+	Verdict Verdict
+}
+
+// VerifySummary instruments one batched Context.Verify call in deferred
+// mode.
+type VerifySummary struct {
+	// Stages is how many pipeline stages the batch resolved.
+	Stages int
+	// Words is the batched all-reduction payload in 64-bit words.
+	Words int
+	// Bytes / Msgs are what this PE sent during the batched resolution.
+	Bytes int64
+	Msgs  int64
+	// Rounds counts collective operations the batch started
+	// (independent of Stages — that is the point of deferral).
+	Rounds int
+	// WallNs is the batch's wall time on this PE.
+	WallNs int64
+	// Failed lists the stage labels whose checkers rejected.
+	Failed []string
+}
+
+// StageError reports that a specific pipeline stage's checker rejected
+// the stage's result. It unwraps to ErrCheckFailed.
+type StageError struct {
+	// Stage is the unique stage label, e.g. "ReduceByKey#2".
+	Stage string
+	// Op is the operation name.
+	Op string
+}
+
+// Error describes the failed stage.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("repro: stage %s: checker rejected the operation result", e.Stage)
+}
+
+// Unwrap ties StageError into the ErrCheckFailed sentinel.
+func (e *StageError) Unwrap() error { return ErrCheckFailed }
+
+// Context is the execution context of a checked pipeline on one PE: it
+// carries the checker Options, the run's shared partitioner, the
+// CheckMode, and a stats sink. Create one per Worker with NewContext,
+// build pipelines from Pairs and Seq, and — in CheckDeferred mode —
+// resolve all pending checkers with Verify.
+//
+// A Context is owned by its PE goroutine and must not be shared. Like
+// all SPMD code, every PE must build the same pipeline; verdicts are
+// identical on all PEs.
+//
+// Errors are sticky: after an operation fails (its checker rejected, or
+// communication broke), subsequent operations on the Context no-op and
+// terminal methods return the first error. Verdicts are replicated, so
+// every PE stops at the same stage.
+type Context struct {
+	w    *Worker
+	opts Options
+	mode CheckMode
+	pt   ops.Partitioner
+	seed uint64
+
+	pending   []pendingCheck
+	stats     []CheckStats
+	summaries []VerifySummary
+	err       error
+}
+
+// pendingCheck links a deferred stage's checker states to its stats
+// entry (most stages register one state; Join registers one per
+// relation).
+type pendingCheck struct {
+	states []core.CheckState
+	stats  int
+}
+
+// NewContext builds a pipeline context for this Worker. It derives the
+// run-wide checker seed and shared partitioner, so like any collective
+// the first NewContext must happen at the same point of every PE's
+// program. opts.Mode selects the check mode. Checker configurations
+// are validated by the stages that use them, so an Options that only
+// fills the configs its operations need keeps working.
+func NewContext(w *Worker, opts Options) (*Context, error) {
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return nil, err
+	}
+	return &Context{
+		w:    w,
+		opts: opts,
+		mode: opts.Mode,
+		pt:   ops.NewPartitioner(seed, w.Size()),
+		seed: seed,
+	}, nil
+}
+
+// Worker returns the Worker this Context runs on.
+func (c *Context) Worker() *Worker { return c.w }
+
+// Mode returns the Context's check mode.
+func (c *Context) Mode() CheckMode { return c.mode }
+
+// Err returns the Context's sticky error: the first checker rejection
+// or communication failure, or nil.
+func (c *Context) Err() error { return c.err }
+
+// Pending returns how many stages await Verify.
+func (c *Context) Pending() int { return len(c.pending) }
+
+// Stats returns a copy of the per-stage instrumentation recorded so
+// far, in pipeline order.
+func (c *Context) Stats() []CheckStats {
+	out := make([]CheckStats, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+// VerifySummaries returns a copy of the batched-verification summaries
+// recorded by Verify calls in deferred mode.
+func (c *Context) VerifySummaries() []VerifySummary {
+	out := make([]VerifySummary, len(c.summaries))
+	copy(out, c.summaries)
+	return out
+}
+
+// TotalCheckerBytes sums the checker communication this PE actually
+// paid: the per-stage measured bytes plus the measured bytes of every
+// batched Verify. Nothing is double-counted — deferred stages' batch
+// contributions are only ever metered inside their VerifySummary.
+func (c *Context) TotalCheckerBytes() int64 {
+	var total int64
+	for _, s := range c.stats {
+		total += s.CheckerBytes
+	}
+	for _, s := range c.summaries {
+		total += s.Bytes
+	}
+	return total
+}
+
+// commSnapshot reads this PE's sent-traffic counters and collective
+// operation count.
+func (c *Context) commSnapshot() (bytes, msgs int64, rounds int) {
+	m := c.w.Endpoint().Metrics().Snapshot()
+	return m.BytesSent, m.MsgsSent, c.w.Coll.OpsStarted()
+}
+
+// fail records err as the Context's sticky error.
+func (c *Context) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// runStage executes one pipeline stage: the operation via exec (which
+// returns this PE's output record count), then the checker per the
+// mode. mkState builds the checker's local-phase states from the stage
+// label; it must not communicate. A nil mkState marks an unchecked
+// stage.
+func (c *Context) runStage(op string, elemsIn int, exec func() (int, error), mkState func(label string) []core.CheckState) error {
+	return c.runStagePrep(op, elemsIn, exec, nil, mkState)
+}
+
+// runStagePrep is runStage with an optional checker preparation step:
+// checkPrep runs after the operation and may communicate (e.g. the zip
+// checker's global-offset prefix sum); its traffic and time are charged
+// to the checker, and it is skipped entirely under CheckOff.
+func (c *Context) runStagePrep(op string, elemsIn int, exec func() (int, error), checkPrep func() error, mkState func(label string) []core.CheckState) error {
+	if c.err != nil {
+		return c.err
+	}
+	label := fmt.Sprintf("%s#%d", op, len(c.stats))
+	st := CheckStats{Stage: label, Op: op, ElementsIn: elemsIn, Verdict: VerdictSkipped}
+
+	b0, _, _ := c.commSnapshot()
+	t0 := time.Now()
+	elemsOut, err := exec()
+	st.OpNs = time.Since(t0).Nanoseconds()
+	b1, _, _ := c.commSnapshot()
+	st.OpBytes = b1 - b0
+	if err != nil {
+		st.Verdict = VerdictError
+		c.stats = append(c.stats, st)
+		return c.fail(err)
+	}
+	st.ElementsOut = elemsOut
+
+	if c.mode == CheckOff || mkState == nil {
+		c.stats = append(c.stats, st)
+		return nil
+	}
+
+	t1 := time.Now()
+	var prepBytes, prepMsgs int64
+	var prepRounds int
+	if checkPrep != nil {
+		pb0, pm0, pr0 := c.commSnapshot()
+		err := checkPrep()
+		pb1, pm1, pr1 := c.commSnapshot()
+		prepBytes, prepMsgs, prepRounds = pb1-pb0, pm1-pm0, pr1-pr0
+		if err != nil {
+			st.Verdict = VerdictError
+			st.CheckerBytes, st.CheckerMsgs, st.CheckerRounds = prepBytes, prepMsgs, prepRounds
+			st.CheckNs = time.Since(t1).Nanoseconds()
+			c.stats = append(c.stats, st)
+			return c.fail(err)
+		}
+	}
+	states := mkState(label)
+	st.CheckNs = time.Since(t1).Nanoseconds()
+
+	switch c.mode {
+	case CheckDeferred:
+		st.Verdict = VerdictPending
+		st.CheckerBytes, st.CheckerMsgs, st.CheckerRounds = prepBytes, prepMsgs, prepRounds
+		for _, s := range states {
+			st.BatchWords += len(s.Words()) + 1
+		}
+		c.pending = append(c.pending, pendingCheck{states: states, stats: len(c.stats)})
+		c.stats = append(c.stats, st)
+		return nil
+	default: // CheckEager
+		cb0, cm0, cr0 := c.commSnapshot()
+		t2 := time.Now()
+		verdicts, err := core.Resolve(c.w, states...)
+		st.CheckNs += time.Since(t2).Nanoseconds()
+		cb1, cm1, cr1 := c.commSnapshot()
+		st.CheckerBytes = prepBytes + cb1 - cb0
+		st.CheckerMsgs = prepMsgs + cm1 - cm0
+		st.CheckerRounds = prepRounds + cr1 - cr0
+		if err != nil {
+			st.Verdict = VerdictError
+			c.stats = append(c.stats, st)
+			return c.fail(err)
+		}
+		ok := true
+		for _, v := range verdicts {
+			ok = ok && v
+		}
+		if ok {
+			st.Verdict = VerdictPass
+			c.stats = append(c.stats, st)
+			return nil
+		}
+		st.Verdict = VerdictFail
+		c.stats = append(c.stats, st)
+		return c.fail(&StageError{Stage: label, Op: op})
+	}
+}
+
+// Verify resolves every pending checker in one batched collective round
+// and reports the verdicts: nil if all stages passed, or an error
+// naming each stage whose checker rejected (unwrapping to
+// ErrCheckFailed). In eager or off mode — or with nothing pending — it
+// returns the Context's sticky error, if any.
+//
+// Like every collective, all PEs must call Verify at the same point of
+// their pipeline. The batch costs a single all-reduction of the
+// concatenated checker states regardless of how many stages are
+// pending; per-batch accounting is appended to VerifySummaries.
+func (c *Context) Verify() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.pending) == 0 {
+		return nil
+	}
+	var states []core.CheckState
+	for _, p := range c.pending {
+		states = append(states, p.states...)
+	}
+	sum := VerifySummary{Stages: len(c.pending)}
+	for _, s := range states {
+		sum.Words += len(s.Words()) + 1
+	}
+	b0, m0, r0 := c.commSnapshot()
+	t0 := time.Now()
+	verdicts, err := core.Resolve(c.w, states...)
+	sum.WallNs = time.Since(t0).Nanoseconds()
+	b1, m1, r1 := c.commSnapshot()
+	sum.Bytes, sum.Msgs, sum.Rounds = b1-b0, m1-m0, r1-r0
+	if err != nil {
+		return c.fail(err)
+	}
+	var failures []error
+	vi := 0
+	for _, p := range c.pending {
+		ok := true
+		for range p.states {
+			ok = ok && verdicts[vi]
+			vi++
+		}
+		entry := &c.stats[p.stats]
+		if ok {
+			entry.Verdict = VerdictPass
+		} else {
+			entry.Verdict = VerdictFail
+			sum.Failed = append(sum.Failed, entry.Stage)
+			failures = append(failures, &StageError{Stage: entry.Stage, Op: entry.Op})
+		}
+	}
+	c.pending = nil
+	c.summaries = append(c.summaries, sum)
+	if len(failures) > 0 {
+		return c.fail(errors.Join(failures...))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Datasets
+// ---------------------------------------------------------------------
+
+// Dataset is a distributed collection of (key, value) pairs bound to a
+// Context; each PE holds its local share. Operations return new
+// Datasets (or terminal results) and register their checkers with the
+// Context per its CheckMode.
+type Dataset struct {
+	ctx   *Context
+	pairs []Pair
+}
+
+// Seq is a distributed sequence of 64-bit words bound to a Context.
+type Seq struct {
+	ctx  *Context
+	vals []uint64
+}
+
+// Pairs wraps this PE's local share of a distributed pair collection.
+func (c *Context) Pairs(local []Pair) *Dataset { return &Dataset{ctx: c, pairs: local} }
+
+// Seq wraps this PE's local share of a distributed word sequence.
+func (c *Context) Seq(local []uint64) *Seq { return &Seq{ctx: c, vals: local} }
+
+// Collect returns this PE's local share of the dataset, or the
+// Context's sticky error. In deferred mode the data may still await
+// verification — call Context.Verify for the verdicts.
+func (d *Dataset) Collect() ([]Pair, error) {
+	if d.ctx.err != nil {
+		return nil, d.ctx.err
+	}
+	return d.pairs, nil
+}
+
+// Collect returns this PE's local share of the sequence; see
+// Dataset.Collect.
+func (s *Seq) Collect() ([]uint64, error) {
+	if s.ctx.err != nil {
+		return nil, s.ctx.err
+	}
+	return s.vals, nil
+}
+
+// sameContext guards two-input operations against mixing pipelines.
+func (c *Context) sameContext(other *Context) error {
+	if c != other {
+		return c.fail(errors.New("repro: operands belong to different Contexts"))
+	}
+	return nil
+}
+
+// ReduceByKey aggregates values per key with fn, verified by the sum
+// aggregation checker (Theorem 1). fn must be associative, commutative,
+// and satisfy x⊕y ≠ x for y ≠ 0 — SumFn and XorFn qualify.
+func (d *Dataset) ReduceByKey(fn ReduceFn) *Dataset {
+	c := d.ctx
+	var out []Pair
+	c.runStage("ReduceByKey", len(d.pairs), func() (int, error) {
+		var err error
+		out, err = ops.ReduceByKey(c.w, c.pt, d.pairs, fn)
+		return len(out), err
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewSumAggState(label, c.opts.Sum, c.seed, d.pairs, out)}
+	})
+	return &Dataset{ctx: c, pairs: out}
+}
+
+// GroupByKey groups all values per key, the redistribution phase
+// verified invasively (Corollary 14). Groups are sorted by key, values
+// within a group ascending.
+func (d *Dataset) GroupByKey() ([]Group, error) {
+	c := d.ctx
+	var red ops.RedistInputs
+	var groups []Group
+	err := c.runStage("GroupByKey", len(d.pairs), func() (int, error) {
+		var err error
+		red, err = ops.RedistributeByKey(c.w, c.pt, d.pairs)
+		if err != nil {
+			return 0, err
+		}
+		groups = groupPairs(red.After)
+		return len(groups), nil
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewRedistState(label, c.opts.Perm, c.seed, c.pt, c.w.Rank(), red.Before, red.After)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// Join computes the inner hash join with other, the redistribution of
+// both relations verified invasively (Corollary 15); the local join is
+// deterministic local work outside the checker's scope, per the paper.
+// Rows are sorted by (key, left, right), so identical runs produce
+// identical output.
+func (d *Dataset) Join(other *Dataset) ([]JoinRow, error) {
+	c := d.ctx
+	if err := c.sameContext(other.ctx); err != nil {
+		return nil, err
+	}
+	var redL, redR ops.RedistInputs
+	var rows []JoinRow
+	err := c.runStage("Join", len(d.pairs)+len(other.pairs), func() (int, error) {
+		var err error
+		redL, err = ops.RedistributeByKey(c.w, c.pt, d.pairs)
+		if err != nil {
+			return 0, err
+		}
+		redR, err = ops.RedistributeByKey(c.w, c.pt, other.pairs)
+		if err != nil {
+			return 0, err
+		}
+		rows = joinLocal(redL.After, redR.After)
+		return len(rows), nil
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{
+			core.NewRedistState(label+"/left", c.opts.Perm, c.seed, c.pt, c.w.Rank(), redL.Before, redL.After),
+			core.NewRedistState(label+"/right", c.opts.Perm, c.seed, c.pt, c.w.Rank(), redR.Before, redR.After),
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// MinByKey computes per-key minima, verified by the deterministic
+// certificate checker (Theorem 9). The result and witness certificate
+// are replicated at every PE, as the checker requires.
+func (d *Dataset) MinByKey() (MinMaxResult, error) {
+	return d.optByKey("MinByKey", true)
+}
+
+// MaxByKey computes per-key maxima; see MinByKey.
+func (d *Dataset) MaxByKey() (MinMaxResult, error) {
+	return d.optByKey("MaxByKey", false)
+}
+
+func (d *Dataset) optByKey(op string, wantMin bool) (MinMaxResult, error) {
+	c := d.ctx
+	var res MinMaxResult
+	err := c.runStage(op, len(d.pairs), func() (int, error) {
+		var err error
+		if wantMin {
+			res, err = ops.MinByKey(c.w, c.pt, d.pairs)
+		} else {
+			res, err = ops.MaxByKey(c.w, c.pt, d.pairs)
+		}
+		return len(res.Result), err
+	}, func(label string) []core.CheckState {
+		if wantMin {
+			return []core.CheckState{core.NewMinAggState(label, c.seed, c.w.Rank(), c.w.Size(), d.pairs, res.Result, res.Witness)}
+		}
+		return []core.CheckState{core.NewMaxAggState(label, c.seed, c.w.Rank(), c.w.Size(), d.pairs, res.Result, res.Witness)}
+	})
+	if err != nil {
+		return MinMaxResult{}, err
+	}
+	return res, nil
+}
+
+// MedianByKey computes per-key medians — returned as doubled values,
+// replicated at every PE — verified by the median checker with
+// tie-breaking certificates (Theorem 10). Works for arbitrary, also
+// non-unique, values.
+func (d *Dataset) MedianByKey() ([]Pair, error) {
+	c := d.ctx
+	var medians []Pair
+	ties := make(map[uint64]core.TieCert)
+	err := c.runStage("MedianByKey", len(d.pairs), func() (int, error) {
+		groups, err := ops.GroupByKey(c.w, c.pt, d.pairs)
+		if err != nil {
+			return 0, err
+		}
+		// Derive medians and tie certificates from the grouped values,
+		// then replicate both (part of the operation, not the checker).
+		flat := make([]uint64, 0, 6*len(groups))
+		for _, g := range groups {
+			m2 := ops.MedianOfSorted2(g.Values)
+			tc := core.ComputeTieCert(g.Values, m2)
+			flat = append(flat, g.Key, m2, tc.EqLow, tc.EqHigh, tc.AtSlot)
+		}
+		all, err := c.w.Coll.AllGather(flat)
+		if err != nil {
+			return 0, err
+		}
+		for _, ws := range all {
+			for i := 0; i+5 <= len(ws); i += 5 {
+				medians = append(medians, Pair{Key: ws[i], Value: ws[i+1]})
+				ties[ws[i]] = core.TieCert{EqLow: ws[i+2], EqHigh: ws[i+3], AtSlot: ws[i+4]}
+			}
+		}
+		data.SortPairsByKey(medians)
+		return len(medians), nil
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewMedianAggState(label, c.opts.Sum, c.seed, c.w.Rank(), d.pairs, medians, ties)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return medians, nil
+}
+
+// AverageByKey computes per-key averages as (key, sum, count) triples —
+// the count doubling as the Corollary 8 certificate — verified by the
+// average checker. The result stays distributed.
+func (d *Dataset) AverageByKey() ([]Triple, error) {
+	c := d.ctx
+	var out []Triple
+	err := c.runStage("AverageByKey", len(d.pairs), func() (int, error) {
+		var err error
+		out, err = ops.AverageByKey(c.w, c.pt, d.pairs)
+		return len(out), err
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewAvgAggState(label, c.opts.Sum, c.seed, d.pairs, core.AvgAssertionsFromTriples(out))}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sort globally sorts the sequence, verified by the sort checker
+// (Theorem 7).
+func (s *Seq) Sort() *Seq {
+	c := s.ctx
+	var out []uint64
+	c.runStage("Sort", len(s.vals), func() (int, error) {
+		var err error
+		out, err = ops.Sort(c.w, s.vals)
+		return len(out), err
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{s.vals}, out)}
+	})
+	return &Seq{ctx: c, vals: out}
+}
+
+// Merge merges this sorted sequence with another sorted sequence,
+// verified by the merge checker (Corollary 13).
+func (s *Seq) Merge(other *Seq) *Seq {
+	c := s.ctx
+	if err := c.sameContext(other.ctx); err != nil {
+		return &Seq{ctx: c}
+	}
+	var out []uint64
+	c.runStage("Merge", len(s.vals)+len(other.vals), func() (int, error) {
+		var err error
+		out, err = ops.Merge(c.w, s.vals, other.vals)
+		return len(out), err
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{s.vals, other.vals}, out)}
+	})
+	return &Seq{ctx: c, vals: out}
+}
+
+// Union concatenates this sequence with another, verified as a
+// permutation of the two inputs (Corollary 12).
+func (s *Seq) Union(other *Seq) *Seq {
+	c := s.ctx
+	if err := c.sameContext(other.ctx); err != nil {
+		return &Seq{ctx: c}
+	}
+	var out []uint64
+	c.runStage("Union", len(s.vals)+len(other.vals), func() (int, error) {
+		var err error
+		out, err = ops.Union(c.w, s.vals, other.vals)
+		return len(out), err
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewPermState(label, c.opts.Perm, c.seed, [][]uint64{s.vals, other.vals}, out)}
+	})
+	return &Seq{ctx: c, vals: out}
+}
+
+// Zip pairs this sequence with another index-wise, verified by the zip
+// checker (Theorem 11). The sequences may be distributed differently;
+// their global lengths must agree.
+func (s *Seq) Zip(other *Seq) *Dataset {
+	c := s.ctx
+	if err := c.sameContext(other.ctx); err != nil {
+		return &Dataset{ctx: c}
+	}
+	var out []Pair
+	var starts, totals []uint64
+	c.runStagePrep("Zip", len(s.vals)+len(other.vals), func() (int, error) {
+		// Guard here rather than in the state constructor: a
+		// zero-iteration zip checker has an empty fingerprint and would
+		// silently accept anything.
+		if c.mode != CheckOff && c.opts.Zip.Iterations < 1 {
+			return 0, errors.New("repro: Options.Zip: iterations must be >= 1")
+		}
+		var err error
+		out, err = ops.Zip(c.w, s.vals, other.vals)
+		return len(out), err
+	}, func() error {
+		// The checker's position-dependent fingerprints need the global
+		// start offsets: one vectorized prefix sum, charged to the
+		// checker and skipped entirely under CheckOff (the local
+		// accumulation that follows stays zero-communication).
+		var err error
+		starts, totals, err = core.ExclusiveCounts(c.w, len(s.vals), len(other.vals), len(out))
+		return err
+	}, func(label string) []core.CheckState {
+		lengthsOK := totals[0] == totals[1] && totals[1] == totals[2]
+		return []core.CheckState{core.NewZipState(label, c.opts.Zip, c.seed, s.vals, other.vals, out,
+			starts[0], starts[1], starts[2], lengthsOK)}
+	})
+	return &Dataset{ctx: c, pairs: out}
+}
+
+// AssertSum registers a sum aggregation check that output is the
+// correct reduction of input — the pure checker entry (Theorem 1) in
+// pipeline form, for verifying results computed elsewhere. In eager
+// mode the verdict returns immediately; in deferred mode it surfaces at
+// Verify.
+func (c *Context) AssertSum(input, output []Pair) error {
+	return c.runStage("AssertSum", len(input), func() (int, error) {
+		return len(output), nil
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewSumAggState(label, c.opts.Sum, c.seed, input, output)}
+	})
+}
+
+// AssertSorted registers a check that output is a sorted permutation of
+// input — the pure sort checker (Theorem 7) in pipeline form; see
+// AssertSum.
+func (c *Context) AssertSorted(input, output []uint64) error {
+	return c.runStage("AssertSorted", len(input), func() (int, error) {
+		return len(output), nil
+	}, func(label string) []core.CheckState {
+		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{input}, output)}
+	})
+}
+
+// groupPairs builds sorted groups from redistributed pairs.
+func groupPairs(after []Pair) []Group {
+	m := make(map[uint64][]uint64)
+	for _, p := range after {
+		m[p.Key] = append(m[p.Key], p.Value)
+	}
+	groups := make([]Group, 0, len(m))
+	for k, vs := range m {
+		data.SortU64(vs)
+		groups = append(groups, Group{Key: k, Values: vs})
+	}
+	sortGroupsByKey(groups)
+	return groups
+}
+
+// joinLocal computes the local inner join of two redistributed
+// relations, rows sorted by (key, left, right) for deterministic
+// output.
+func joinLocal(left, right []Pair) []JoinRow {
+	build := make(map[uint64][]uint64, len(left))
+	for _, p := range left {
+		build[p.Key] = append(build[p.Key], p.Value)
+	}
+	var rows []JoinRow
+	for _, p := range right {
+		for _, lv := range build[p.Key] {
+			rows = append(rows, JoinRow{Key: p.Key, Left: lv, Right: p.Value})
+		}
+	}
+	sortJoinRows(rows)
+	return rows
+}

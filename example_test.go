@@ -59,6 +59,48 @@ func ExampleSortChecked() {
 	// Output: [1 2 3 4 6 7 8 9]
 }
 
+// ExampleNewContext chains checked operations on the pipeline API in
+// deferred mode: both stages' checkers resolve in one batched
+// collective round at Verify, and the stats name each stage's verdict.
+func ExampleNewContext() {
+	pairs := []repro.Pair{
+		{Key: 1, Value: 10}, {Key: 2, Value: 5},
+		{Key: 1, Value: 7}, {Key: 2, Value: 1},
+	}
+	seq := []uint64{9, 3, 7, 1}
+	err := repro.Run(2, 42, func(w *repro.Worker) error {
+		opts := repro.DefaultOptions()
+		opts.Mode = repro.CheckDeferred
+		ctx, err := repro.NewContext(w, opts)
+		if err != nil {
+			return err
+		}
+		s, e := data.SplitEven(len(pairs), w.Size(), w.Rank())
+		if _, err := ctx.Pairs(pairs[s:e]).ReduceByKey(repro.SumFn).Collect(); err != nil {
+			return err
+		}
+		s, e = data.SplitEven(len(seq), w.Size(), w.Rank())
+		if _, err := ctx.Seq(seq[s:e]).Sort().Collect(); err != nil {
+			return err
+		}
+		if err := ctx.Verify(); err != nil { // one batched round for both stages
+			return err
+		}
+		if w.Rank() == 0 {
+			for _, st := range ctx.Stats() {
+				fmt.Println(st.Stage, st.Verdict)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// ReduceByKey#0 pass
+	// Sort#1 pass
+}
+
 // ExampleCheckSum verifies an asserted aggregation produced elsewhere —
 // the pure checker interface. A corrupted assertion is rejected.
 func ExampleCheckSum() {

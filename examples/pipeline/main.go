@@ -1,7 +1,10 @@
 // Pipeline: a multi-stage analytics job — zip two metric streams,
-// aggregate averages, medians and minima per sensor — with every stage
-// verified by its checker, running over real TCP sockets to show the
-// framework is transport agnostic.
+// aggregate averages, medians and minima per sensor — expressed on the
+// Context/Dataset API with deferred verification: every stage registers
+// its checker, and a single ctx.Verify() resolves all of them in one
+// batched collective round. Runs over real TCP sockets to show the
+// framework is transport agnostic, and prints the per-stage stats the
+// Context records.
 package main
 
 import (
@@ -10,10 +13,8 @@ import (
 
 	"repro"
 	"repro/internal/comm"
-	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
-	"repro/internal/ops"
 	"repro/internal/workload"
 )
 
@@ -40,8 +41,12 @@ func main() {
 	defer net.Close()
 
 	opts := repro.DefaultOptions()
+	opts.Mode = repro.CheckDeferred
 	err = dist.RunNetwork(net, 1, func(w *dist.Worker) error {
-		// Stage 1: zip sensor ids with readings (checked, Theorem 11).
+		ctx, err := repro.NewContext(w, opts)
+		if err != nil {
+			return err
+		}
 		s, e := data.SplitEven(samples, pes, w.Rank())
 		// Give the readings a different, skewed distribution.
 		var rdLocal []uint64
@@ -53,36 +58,33 @@ func main() {
 		default:
 			rdLocal = readings[samples/2+samples/4:]
 		}
-		zipped, err := ops.Zip(w, sensorIDs[s:e], rdLocal)
-		if err != nil {
-			return err
-		}
-		ok, err := core.CheckZip(w, opts.Zip, sensorIDs[s:e], rdLocal, zipped)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("zip checker rejected")
-		}
 
-		// Stage 2: per-sensor average (checked, Corollary 8 — the
-		// count certificate falls out of the triple representation).
-		averages, err := repro.AverageByKeyChecked(w, opts, zipped)
+		// Stage 1: zip sensor ids with readings (Theorem 11).
+		zipped := ctx.Seq(sensorIDs[s:e]).Zip(ctx.Seq(rdLocal))
+
+		// Stage 2: per-sensor average (Corollary 8 — the count
+		// certificate falls out of the triple representation).
+		averages, err := zipped.AverageByKey()
 		if err != nil {
 			return err
 		}
 
-		// Stage 3: per-sensor median (checked with tie certificates,
-		// Theorem 10 — readings repeat, so ties are everywhere).
-		medians, err := repro.MedianByKeyChecked(w, opts, zipped)
+		// Stage 3: per-sensor median (tie certificates, Theorem 10 —
+		// readings repeat, so ties are everywhere).
+		medians, err := zipped.MedianByKey()
 		if err != nil {
 			return err
 		}
 
 		// Stage 4: per-sensor minimum (deterministically checked with
 		// the witness certificate, Theorem 9).
-		mins, err := repro.MinByKeyChecked(w, opts, zipped)
+		mins, err := zipped.MinByKey()
 		if err != nil {
+			return err
+		}
+
+		// One batched round resolves all four checkers.
+		if err := ctx.Verify(); err != nil {
 			return err
 		}
 
@@ -105,6 +107,16 @@ func main() {
 				}
 				avg := float64(t.Value) / float64(t.Count)
 				fmt.Printf("%6d  %7.2f %7.1f %4d\n", t.Key, avg, med[t.Key], min[t.Key])
+			}
+			fmt.Println("\nper-stage stats (PE 0):")
+			fmt.Printf("%-16s %10s %10s %10s %10s  %s\n", "stage", "in", "out", "op bytes", "chk words", "verdict")
+			for _, st := range ctx.Stats() {
+				fmt.Printf("%-16s %10d %10d %10d %10d  %s\n",
+					st.Stage, st.ElementsIn, st.ElementsOut, st.OpBytes, st.BatchWords, st.Verdict)
+			}
+			for _, vs := range ctx.VerifySummaries() {
+				fmt.Printf("verify: %d stages resolved in %d collective rounds, %d bytes sent by PE 0\n",
+					vs.Stages, vs.Rounds, vs.Bytes)
 			}
 		}
 		return nil

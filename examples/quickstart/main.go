@@ -1,11 +1,14 @@
 // Quickstart: a distributed sum aggregation verified by the
-// communication efficient checker, plus a demonstration that a silently
-// corrupted result is rejected. The -transport flag switches the run
-// between the in-memory, virtual-time, and TCP backends without
-// touching the SPMD body.
+// communication efficient checker through the Context/Dataset pipeline
+// API, plus a demonstration that a silently corrupted result is
+// rejected — and attributed to its stage — under deferred (batched)
+// verification. The -transport flag switches the run between the
+// in-memory, virtual-time, and TCP backends without touching the SPMD
+// body.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,13 +36,19 @@ func main() {
 
 	fmt.Printf("sum-aggregating %d pairs on %d PEs over %s with a checker (delta < 1e-9)\n", elements, p, tr)
 	err = repro.RunConfig(cfg, p, 1, func(w *repro.Worker) error {
+		ctx, err := repro.NewContext(w, repro.DefaultOptions())
+		if err != nil {
+			return err
+		}
 		s, e := data.SplitEven(len(global), p, w.Rank())
-		out, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), global[s:e], repro.SumFn)
+		out, err := ctx.Pairs(global[s:e]).ReduceByKey(repro.SumFn).Collect()
 		if err != nil {
 			return err
 		}
 		if w.Rank() == 0 {
-			fmt.Printf("PE 0 holds %d of the aggregated keys; checker accepted the result\n", len(out))
+			st := ctx.Stats()[0]
+			fmt.Printf("PE 0 holds %d of the aggregated keys; checker accepted (%d op bytes vs %d checker bytes sent)\n",
+				len(out), st.OpBytes, st.CheckerBytes)
 		}
 		return nil
 	})
@@ -48,27 +57,40 @@ func main() {
 	}
 
 	// Now corrupt one value of the asserted result — a "soft error" —
-	// and watch the checker catch it.
+	// and watch the deferred checker catch it and name the stage.
 	fmt.Println("\ninjecting a single off-by-one fault into the asserted result...")
 	err = repro.RunConfig(cfg, p, 2, func(w *repro.Worker) error {
+		opts := repro.DefaultOptions()
+		opts.Mode = repro.CheckDeferred
+		ctx, err := repro.NewContext(w, opts)
+		if err != nil {
+			return err
+		}
 		s, e := data.SplitEven(len(global), p, w.Rank())
 		local := global[s:e]
-		out, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), local, repro.SumFn)
+		out, err := ctx.Pairs(local).ReduceByKey(repro.SumFn).Collect()
 		if err != nil {
 			return err
 		}
-		if w.Rank() == 0 && len(out) > 0 {
-			out[0].Value++ // the silent error
+		bad := data.ClonePairs(out)
+		if w.Rank() == 0 && len(bad) > 0 {
+			bad[0].Value++ // the silent error
 		}
-		ok, err := repro.CheckSum(w, repro.DefaultOptions(), local, out)
-		if err != nil {
+		if err := ctx.AssertSum(local, bad); err != nil {
 			return err
+		}
+		verr := ctx.Verify() // one batched round resolves both stages
+		if verr == nil {
+			return fmt.Errorf("checker missed the fault (probability < 1e-9)")
+		}
+		if !errors.Is(verr, repro.ErrCheckFailed) {
+			return verr
 		}
 		if w.Rank() == 0 {
-			if ok {
-				return fmt.Errorf("checker missed the fault (probability < 1e-9)")
+			fmt.Printf("deferred verification rejected the corrupted result: %v\n", verr)
+			for _, st := range ctx.Stats() {
+				fmt.Printf("  stage %-12s verdict %s\n", st.Stage, st.Verdict)
 			}
-			fmt.Println("checker rejected the corrupted result, as it should")
 		}
 		return nil
 	})

@@ -1,10 +1,12 @@
-// Sortcheck: a distributed sample sort verified by the sort checker,
-// and a deliberately buggy sorter — it forgets to merge the runs it
-// receives — caught red-handed. Also demonstrates the polynomial
+// Sortcheck: a distributed sample sort verified by the sort checker via
+// the pipeline API, and a deliberately buggy sorter — it forgets to
+// merge the runs it receives — caught red-handed by the pure checker
+// entry (Context.AssertSorted). Also demonstrates the polynomial
 // permutation checker variants (Lemma 5).
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -74,8 +76,12 @@ func main() {
 
 	fmt.Printf("sorting %d uniform integers on %d PEs with the sort checker\n", n, pes)
 	err := repro.Run(pes, 1, func(w *repro.Worker) error {
+		ctx, err := repro.NewContext(w, repro.DefaultOptions())
+		if err != nil {
+			return err
+		}
 		s, e := data.SplitEven(len(global), pes, w.Rank())
-		out, err := repro.SortChecked(w, repro.DefaultOptions(), global[s:e])
+		out, err := ctx.Seq(global[s:e]).Sort().Collect()
 		if err != nil {
 			return err
 		}
@@ -90,21 +96,25 @@ func main() {
 
 	fmt.Println("\nrunning a buggy sorter that forgets to merge received runs...")
 	err = repro.Run(pes, 2, func(w *repro.Worker) error {
+		ctx, err := repro.NewContext(w, repro.DefaultOptions())
+		if err != nil {
+			return err
+		}
 		s, e := data.SplitEven(len(global), pes, w.Rank())
 		local := global[s:e]
 		out, err := buggySort(w, local)
 		if err != nil {
 			return err
 		}
-		ok, err := repro.CheckSorted(w, repro.DefaultOptions(), local, out)
-		if err != nil {
-			return err
+		aerr := ctx.AssertSorted(local, out)
+		if aerr == nil {
+			return fmt.Errorf("the checker missed the bug")
+		}
+		if !errors.Is(aerr, repro.ErrCheckFailed) {
+			return aerr
 		}
 		if w.Rank() == 0 {
-			if ok {
-				return fmt.Errorf("the checker missed the bug")
-			}
-			fmt.Println("sort checker rejected the buggy output")
+			fmt.Printf("sort checker rejected the buggy output: %v\n", aerr)
 		}
 		return nil
 	})

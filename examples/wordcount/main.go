@@ -1,24 +1,21 @@
 // Wordcount — the workload the paper's power-law experiments model —
-// with a checked distributed reduction, a fault-injection demonstration,
-// and a report of the checker's bottleneck communication volume versus
-// the operation's.
+// with a checked distributed reduction on the pipeline API, a
+// fault-injection demonstration, and a report of the checker's
+// communication volume versus the operation's, read straight from the
+// per-stage CheckStats the Context records.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log"
 	"sort"
-	"sync"
 
 	"repro"
-	"repro/internal/comm"
-	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/dist"
 	"repro/internal/hashing"
 	"repro/internal/manipulate"
-	"repro/internal/ops"
 	"repro/internal/workload"
 )
 
@@ -46,61 +43,50 @@ func main() {
 		global[i] = data.Pair{Key: k, Value: 1}
 	}
 
-	// Run the checked wordcount on an instrumented network so we can
-	// audit communication volume.
-	net := comm.NewMemNetwork(pes)
-	defer net.Close()
-
-	var mu sync.Mutex
+	// The checked wordcount: one pipeline stage; its CheckStats entry
+	// meters operation and checker communication separately.
 	counts := make(map[uint64]uint64)
-	cfg := core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC}
-
-	err := dist.RunNetwork(net, 1, func(w *dist.Worker) error {
-		s, e := data.SplitEven(len(global), pes, w.Rank())
-		local := global[s:e]
-		pt := ops.NewPartitioner(99, pes)
-		out, err := ops.ReduceByKey(w, pt, local, ops.SumFn)
+	perPE := make([]repro.CheckStats, pes)
+	err := repro.Run(pes, 1, func(w *repro.Worker) error {
+		ctx, err := repro.NewContext(w, repro.DefaultOptions())
 		if err != nil {
 			return err
 		}
-		mu.Lock()
-		for _, pr := range out {
-			counts[pr.Key] = pr.Value
-		}
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	opVolume := comm.NetworkBottleneck(net)
-	comm.ResetNetwork(net)
-
-	err = dist.RunNetwork(net, 2, func(w *dist.Worker) error {
 		s, e := data.SplitEven(len(global), pes, w.Rank())
-		// Each PE re-derives its share of the asserted output.
-		pt := ops.NewPartitioner(99, pes)
-		var mine []data.Pair
-		mu.Lock()
-		for k, v := range counts {
-			if pt.PE(k) == w.Rank() {
-				mine = append(mine, data.Pair{Key: k, Value: v})
+		out, err := ctx.Pairs(global[s:e]).ReduceByKey(repro.SumFn).Collect()
+		if err != nil {
+			return err
+		}
+		flat := make([]uint64, 0, 2*len(out))
+		for _, pr := range out {
+			flat = append(flat, pr.Key, pr.Value)
+		}
+		all, err := w.Coll.Gather(0, flat)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			for _, ws := range all {
+				for i := 0; i+2 <= len(ws); i += 2 {
+					counts[ws[i]] = ws[i+1]
+				}
 			}
 		}
-		mu.Unlock()
-		ok, err := core.CheckSumAgg(w, cfg, global[s:e], mine)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("checker rejected a correct wordcount")
-		}
+		perPE[w.Rank()] = ctx.Stats()[0]
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	checkVolume := comm.NetworkBottleneck(net)
+	var opBytes, chkBytes int64
+	for _, st := range perPE {
+		if st.OpBytes > opBytes {
+			opBytes = st.OpBytes
+		}
+		if st.CheckerBytes > chkBytes {
+			chkBytes = st.CheckerBytes
+		}
+	}
 
 	// Report the top words.
 	type wc struct {
@@ -122,8 +108,7 @@ func main() {
 		fmt.Printf("  %-8s %6d\n", t.word, t.count)
 	}
 	fmt.Printf("\nbottleneck communication: operation %d bytes, checker %d bytes (%.2f%%)\n",
-		opVolume.MaxBytes, checkVolume.MaxBytes,
-		100*float64(checkVolume.MaxBytes)/float64(opVolume.MaxBytes))
+		opBytes, chkBytes, 100*float64(chkBytes)/float64(opBytes))
 
 	// Fault injection: apply each Table 4 manipulator to the input the
 	// "computation" sees and show the checker's verdicts.
@@ -140,14 +125,18 @@ func main() {
 		badCounts := data.MapToPairs(data.PairsToMapSum(bad))
 		caught := false
 		err := repro.Run(pes, 3, func(w *repro.Worker) error {
-			s, e := data.SplitEven(len(global), pes, w.Rank())
-			bs, be := data.SplitEven(len(badCounts), pes, w.Rank())
-			ok, err := repro.CheckSum(w, repro.DefaultOptions(), global[s:e], badCounts[bs:be])
+			ctx, err := repro.NewContext(w, repro.DefaultOptions())
 			if err != nil {
 				return err
 			}
+			s, e := data.SplitEven(len(global), pes, w.Rank())
+			bs, be := data.SplitEven(len(badCounts), pes, w.Rank())
+			aerr := ctx.AssertSum(global[s:e], badCounts[bs:be])
+			if aerr != nil && !errors.Is(aerr, repro.ErrCheckFailed) {
+				return aerr
+			}
 			if w.Rank() == 0 {
-				caught = !ok
+				caught = aerr != nil
 			}
 			return nil
 		})

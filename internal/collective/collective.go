@@ -26,6 +26,7 @@ const userTagBase = 1 << 30
 type Comm struct {
 	ep  comm.Endpoint
 	tag int
+	ops int
 }
 
 // New returns a collective communicator over ep.
@@ -46,6 +47,7 @@ func (c *Comm) Endpoint() comm.Endpoint { return c.ep }
 func (c *Comm) nextTag() int {
 	t := c.tag
 	c.tag++
+	c.ops++
 	return t
 }
 
@@ -55,8 +57,16 @@ func (c *Comm) nextTag() int {
 func (c *Comm) nextTags(n int) int {
 	t := c.tag
 	c.tag += n
+	c.ops++
 	return t
 }
+
+// OpsStarted returns how many collective operations this communicator
+// has started (tree primitives count individually: an AllReduce is a
+// Reduce plus a Broadcast, so it counts as two). Harnesses compare
+// deltas of this counter to quantify how many collective rounds a code
+// region cost — e.g. eager versus deferred checker resolution.
+func (c *Comm) OpsStarted() int { return c.ops }
 
 // U64sToBytes encodes words little-endian, 8 bytes per word.
 func U64sToBytes(words []uint64) []byte {
@@ -119,7 +129,13 @@ func (c *Comm) RecvWords(src, tag int) ([]uint64, error) {
 }
 
 // ReduceOp combines src into dst element-wise. Implementations must be
-// associative and commutative over the element encoding.
+// associative over the element encoding. Commutativity is not required
+// for Reduce with root 0 (and hence AllReduce): the binomial tree only
+// ever combines rank-contiguous partial results in ascending rank
+// order, so dst always covers lower ranks than src. Order-sensitive
+// combines (e.g. the sort checker's boundary-interval merge) rely on
+// this contract. For other roots, or for ExclusiveScan, the op must
+// additionally be commutative.
 type ReduceOp func(dst, src []uint64)
 
 // OpSum adds with wraparound (the natural operation in Z/2^64Z).

@@ -42,64 +42,5 @@ func CheckAvgAgg(w *dist.Worker, cfg SumConfig, input []data.Pair, asserted []Av
 	if err != nil {
 		return false, err
 	}
-	c := NewSumChecker(cfg, seed)
-
-	// Certificate sanity is deterministic: a correct average in lowest
-	// terms must divide the certified count. An indivisible certificate
-	// cannot belong to a correct result, so rejecting keeps one-sided
-	// error intact.
-	localOK := true
-	sums := make([]data.Pair, 0, len(asserted))
-	counts := make([]data.Pair, 0, len(asserted))
-	for _, a := range asserted {
-		if a.AvgDen == 0 || a.Count%a.AvgDen != 0 {
-			localOK = false
-			continue
-		}
-		reconstructed := a.AvgNum * (a.Count / a.AvgDen) // mod 2^64, consistent with input sums
-		sums = append(sums, data.Pair{Key: a.Key, Value: reconstructed})
-		counts = append(counts, data.Pair{Key: a.Key, Value: a.Count})
-	}
-
-	// Lane 1: reconstructed sums vs input values.
-	tvSum := c.NewTable()
-	c.Accumulate(tvSum, input)
-	toSum := c.NewTable()
-	c.Accumulate(toSum, sums)
-
-	// Lane 2: certified counts vs input multiplicities.
-	tvCnt := c.NewTable()
-	c.AccumulateCount(tvCnt, input)
-	toCnt := c.NewTable()
-	c.Accumulate(toCnt, counts)
-
-	// One reduction for both lanes (concatenated diff tables).
-	c.Normalize(tvSum)
-	c.Normalize(toSum)
-	c.Normalize(tvCnt)
-	c.Normalize(toCnt)
-	diff := append(c.Diff(tvSum, toSum), c.Diff(tvCnt, toCnt)...)
-	op := c.ReduceOp()
-	both := func(dst, src []uint64) {
-		half := len(dst) / 2
-		op(dst[:half], src[:half])
-		op(dst[half:], src[half:])
-	}
-	red, err := w.Coll.Reduce(0, diff, both)
-	if err != nil {
-		return false, err
-	}
-	agreeLocal, err := w.Coll.AllAgree(localOK)
-	if err != nil {
-		return false, err
-	}
-	verdict := uint64(0)
-	if w.Rank() == 0 && allZero(red) {
-		verdict = 1
-	}
-	v, err := w.Coll.BroadcastU64(0, verdict)
-	if err != nil {
-		return false, err
-	}
-	return v == 1 && agreeLocal, nil
+	return resolveOne(w, NewAvgAggState("AvgAgg", cfg, seed, input, asserted))
 }

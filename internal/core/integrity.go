@@ -7,19 +7,15 @@ import (
 
 // CheckReplicated verifies that every PE holds the same copy of a
 // replicated sequence (Section 2, "Result Integrity"): each PE hashes
-// its copy with a shared random hash function, PE 0's digest is
-// broadcast, and any mismatch aborts. O(k + alpha*log p).
+// its copy with a shared random hash function and the digests are
+// compared globally (all equal iff the reduced minimum equals the
+// reduced maximum — see ReplicatedState). O(k + alpha*log p).
 func CheckReplicated(w *dist.Worker, words []uint64) (bool, error) {
 	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	digest := DigestU64s(words, seed)
-	ref, err := w.Coll.BroadcastU64(0, digest)
-	if err != nil {
-		return false, err
-	}
-	return w.Coll.AllAgree(digest == ref)
+	return resolveOne(w, NewReplicatedState("Replicated", seed, words))
 }
 
 // DigestU64s computes a position-sensitive keyed digest of a word

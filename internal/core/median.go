@@ -88,105 +88,12 @@ func CheckMedianAggTies(w *dist.Worker, cfg SumConfig, input []data.Pair, median
 }
 
 func checkMedian(w *dist.Worker, cfg SumConfig, input []data.Pair, medians2 []data.Pair, ties map[uint64]TieCert) (bool, error) {
-	// Replication integrity of result + certificate, in key order so the
-	// digest is independent of the caller's slice and map ordering.
-	replOK, err := CheckReplicated(w, flattenMedianAssertion(medians2, ties))
-	if err != nil {
-		return false, err
-	}
-
 	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	c := NewSumChecker(cfg, seed)
-
-	m2 := make(map[uint64]uint64, len(medians2))
-	for _, pr := range medians2 {
-		m2[pr.Key] = pr.Value
-	}
-
-	localOK := true
-	s := make(map[uint64]int64) // balance: #larger - #smaller
-	e := make(map[uint64]int64) // equality: #equal to median
-	for _, pr := range input {
-		m, exists := m2[pr.Key]
-		if !exists {
-			// Key dropped from the result: deterministic reject.
-			localOK = false
-			break
-		}
-		v2 := 2 * pr.Value
-		switch {
-		case v2 < m:
-			s[pr.Key]--
-		case v2 > m:
-			s[pr.Key]++
-		default:
-			e[pr.Key]++
-		}
-	}
-
-	// Balance lane, shifted by the certificate where present:
-	// s[k] + EqHigh - EqLow must be zero for every key.
-	tv := c.NewTable()
-	for k, cnt := range s {
-		c.AccumulateSigned(tv, k, cnt)
-	}
-	blocks := 1
-	if ties != nil {
-		// The certificate is replicated at every PE but must enter the
-		// global sum exactly once: only PE 0 folds it in. The AtSlot
-		// bound is a local deterministic check everywhere.
-		for _, tc := range ties {
-			if tc.AtSlot > 2 {
-				localOK = false
-			}
-		}
-		if w.Rank() == 0 {
-			for k, tc := range ties {
-				c.AccumulateSigned(tv, k, int64(tc.EqHigh)-int64(tc.EqLow))
-			}
-		}
-		// Equality lane: #equal(k) - (EqLow+EqHigh+AtSlot) must be zero.
-		te := c.NewTable()
-		for k, cnt := range e {
-			c.AccumulateSigned(te, k, cnt)
-		}
-		if w.Rank() == 0 {
-			for k, tc := range ties {
-				c.AccumulateSigned(te, k, -int64(tc.EqLow+tc.EqHigh+tc.AtSlot))
-			}
-		}
-		tv = append(tv, te...)
-		blocks = 2
-	}
-
-	op := c.ReduceOp()
-	multi := func(dst, src []uint64) {
-		words := c.TableWords()
-		for b := 0; b < blocks; b++ {
-			op(dst[b*words:(b+1)*words], src[b*words:(b+1)*words])
-		}
-	}
-	c.normalizeBlocks(tv, blocks)
-	red, err := w.Coll.Reduce(0, tv, multi)
-	if err != nil {
-		return false, err
-	}
-	verdict := uint64(0)
-	if w.Rank() == 0 && allZero(red) {
-		verdict = 1
-	}
-	v, err := w.Coll.BroadcastU64(0, verdict)
-	if err != nil {
-		return false, err
-	}
-	agree, err := w.Coll.AllAgree(localOK)
-	if err != nil {
-		return false, err
-	}
-	return v == 1 && agree && replOK, nil
+	st := NewMedianAggState("MedianAgg", cfg, seed, w.Rank(), input, medians2, ties)
+	return resolveOne(w, st)
 }
 
 // normalizeBlocks normalizes a table consisting of `blocks` consecutive

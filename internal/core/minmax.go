@@ -20,89 +20,20 @@ import (
 //	    input element equal to it (nothing was invented or inflated);
 //	(c) the certificate covers exactly the result's key set.
 func CheckMinAgg(w *dist.Worker, input []data.Pair, result []data.Pair, witness map[uint64]int) (bool, error) {
-	return checkOptAgg(w, input, result, witness, true)
+	seed, err := w.CommonSeed()
+	if err != nil {
+		return false, err
+	}
+	st := NewMinAggState("MinAgg", seed, w.Rank(), w.Size(), input, result, witness)
+	return resolveOne(w, st)
 }
 
 // CheckMaxAgg checks maximum aggregation; see CheckMinAgg.
 func CheckMaxAgg(w *dist.Worker, input []data.Pair, result []data.Pair, witness map[uint64]int) (bool, error) {
-	return checkOptAgg(w, input, result, witness, false)
-}
-
-func checkOptAgg(w *dist.Worker, input, result []data.Pair, witness map[uint64]int, wantMin bool) (bool, error) {
-	// Replication integrity: all PEs must hold the same result and
-	// certificate. Encode the certificate alongside the result pairs,
-	// in key order so the digest ignores the caller's slice ordering.
-	sorted := data.ClonePairs(result)
-	data.SortPairsByKey(sorted)
-	flat := make([]uint64, 0, 3*len(sorted))
-	for _, pr := range sorted {
-		flat = append(flat, pr.Key, pr.Value, uint64(witness[pr.Key]))
-	}
-	replOK, err := CheckReplicated(w, flat)
+	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-
-	beats := func(a, b uint64) bool {
-		if wantMin {
-			return a < b
-		}
-		return a > b
-	}
-	asserted := make(map[uint64]uint64, len(result))
-	for _, pr := range result {
-		asserted[pr.Key] = pr.Value
-	}
-
-	ok := true
-	// (c) certificate covers exactly the result keys.
-	if len(witness) != len(asserted) {
-		ok = false
-	}
-	for k := range witness {
-		if _, exists := asserted[k]; !exists {
-			ok = false
-		}
-	}
-	for _, r := range witness {
-		if r < 0 || r >= w.Size() {
-			ok = false
-		}
-	}
-
-	// (a) local scan: no element beats the optimum, no missing keys.
-	for _, pr := range input {
-		m, exists := asserted[pr.Key]
-		if !exists || beats(pr.Value, m) {
-			ok = false
-			break
-		}
-	}
-
-	// (b) witnesses assigned to this PE must be present locally.
-	mine := make(map[data.Pair]bool)
-	for k, r := range witness {
-		if r == w.Rank() {
-			if m, exists := asserted[k]; exists {
-				mine[data.Pair{Key: k, Value: m}] = true
-			}
-		}
-	}
-	if len(mine) > 0 {
-		for _, pr := range input {
-			delete(mine, pr)
-			if len(mine) == 0 {
-				break
-			}
-		}
-		if len(mine) > 0 {
-			ok = false
-		}
-	}
-
-	agree, err := w.Coll.AllAgree(ok)
-	if err != nil {
-		return false, err
-	}
-	return agree && replOK, nil
+	st := NewMaxAggState("MaxAgg", seed, w.Rank(), w.Size(), input, result, witness)
+	return resolveOne(w, st)
 }

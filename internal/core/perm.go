@@ -106,27 +106,6 @@ func (c *PermChecker) AccumulateInto(sums []uint64, xs []uint64, negate bool) {
 	}
 }
 
-// finishPerm masks the lambda values and all-reduces the verdict.
-func (c *PermChecker) finishPerm(w *dist.Worker, lambda []uint64) (bool, error) {
-	red, err := w.Coll.AllReduce(lambda, func(dst, src []uint64) {
-		for i := range dst {
-			dst[i] += src[i]
-		}
-	})
-	if err != nil {
-		return false, err
-	}
-	ok := true
-	for _, v := range red {
-		if v&c.mask != 0 {
-			ok = false
-		}
-	}
-	// All PEs computed the same reduction; AllAgree also catches any
-	// replication divergence defensively.
-	return w.Coll.AllAgree(ok)
-}
-
 // CheckPermutation checks that the distributed sequence output is a
 // permutation of the distributed sequence input (Lemma 4): lambda =
 // sum(h(e)) - sum(h(o)) mod H must be zero. Running time
@@ -143,13 +122,7 @@ func CheckPermutationMulti(w *dist.Worker, cfg PermConfig, inputs [][]uint64, ou
 	if err != nil {
 		return false, err
 	}
-	c := NewPermChecker(cfg, seed)
-	lambda := make([]uint64, cfg.Iterations)
-	for _, in := range inputs {
-		c.AccumulateInto(lambda, in, false)
-	}
-	c.AccumulateInto(lambda, output, true)
-	return c.finishPerm(w, lambda)
+	return resolveOne(w, NewPermState("Permutation", cfg, seed, inputs, output))
 }
 
 // CheckUnion checks Union(s1, s2) = out as a permutation of the

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/data"
 	"repro/internal/dist"
-	"repro/internal/hashing"
 )
 
 // KeyLocator reports which PE is responsible for a key — the contract
@@ -31,32 +30,8 @@ func CheckRedistribution(w *dist.Worker, cfg PermConfig, loc KeyLocator, before,
 	if err != nil {
 		return false, err
 	}
-	// Fold pairs into single words with independently keyed mixers so
-	// the permutation fingerprint ranges over whole pairs.
-	foldSeed := hashing.SubSeeds(seed^0x4ed154ed154ed151, 2)
-	fold := func(ps []data.Pair) []uint64 {
-		out := make([]uint64, len(ps))
-		for i, pr := range ps {
-			out[i] = hashing.Mix64(pr.Key^foldSeed[0]) + hashing.Mix64(pr.Value^foldSeed[1])
-		}
-		return out
-	}
-	perm, err := CheckPermutation(w, cfg, fold(before), fold(after))
-	if err != nil {
-		return false, err
-	}
-	placed := true
-	for _, pr := range after {
-		if loc.PE(pr.Key) != w.Rank() {
-			placed = false
-			break
-		}
-	}
-	agree, err := w.Coll.AllAgree(placed)
-	if err != nil {
-		return false, err
-	}
-	return perm && agree, nil
+	st := NewRedistState("Redistribution", cfg, seed, loc, w.Rank(), before, after)
+	return resolveOne(w, st)
 }
 
 // CheckJoinRedistribution checks the redistribution phase of a hash
@@ -64,15 +39,18 @@ func CheckRedistribution(w *dist.Worker, cfg PermConfig, loc KeyLocator, before,
 // verified as in CheckRedistribution, and because both use the same
 // locator the key partition is consistent across relations — the
 // hash-join analogue of the paper's boundary-key exchange for
-// sort-merge joins.
+// sort-merge joins. Both relations' states resolve in one batched
+// round.
 func CheckJoinRedistribution(w *dist.Worker, cfg PermConfig, loc KeyLocator, leftBefore, leftAfter, rightBefore, rightAfter []data.Pair) (bool, error) {
-	okL, err := CheckRedistribution(w, cfg, loc, leftBefore, leftAfter)
+	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	okR, err := CheckRedistribution(w, cfg, loc, rightBefore, rightAfter)
+	stL := NewRedistState("Join/left", cfg, seed, loc, w.Rank(), leftBefore, leftAfter)
+	stR := NewRedistState("Join/right", cfg, seed, loc, w.Rank(), rightBefore, rightAfter)
+	v, err := Resolve(w, stL, stR)
 	if err != nil {
 		return false, err
 	}
-	return okL && okR, nil
+	return v[0] && v[1], nil
 }

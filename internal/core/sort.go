@@ -1,85 +1,31 @@
 package core
 
 import (
-	"repro/internal/data"
 	"repro/internal/dist"
 )
-
-// localSortednessOK verifies the deterministic half of the sort checker
-// (Theorem 7): the local share is sorted and the largest local element
-// does not exceed the smallest element held by any successor PE.
-//
-// The boundary exchange runs right to left so that PEs with empty
-// shares relay their successor's boundary instead of breaking the
-// chain: each PE receives the effective minimum of everything to its
-// right, compares, and forwards its own effective minimum.
-func localSortednessOK(w *dist.Worker, local []uint64) (bool, error) {
-	ok := data.IsSortedU64(local)
-	tag := w.Coll.ReserveTag()
-	p, rank := w.Size(), w.Rank()
-	// succHas/succMin: effective minimum over all PEs to the right.
-	succHas, succMin := false, uint64(0)
-	if rank < p-1 {
-		got, err := w.Coll.RecvWords(rank+1, tag)
-		if err != nil {
-			return false, err
-		}
-		succHas = got[0] == 1
-		succMin = got[1]
-	}
-	if ok && succHas && len(local) > 0 && local[len(local)-1] > succMin {
-		ok = false
-	}
-	if rank > 0 {
-		effHas, effMin := succHas, succMin
-		if len(local) > 0 {
-			effHas, effMin = true, local[0]
-		}
-		flag := uint64(0)
-		if effHas {
-			flag = 1
-		}
-		if err := w.Coll.SendWords(rank-1, tag, []uint64{flag, effMin}); err != nil {
-			return false, err
-		}
-	}
-	return ok, nil
-}
 
 // CheckSorted checks that the distributed sequence output is a sorted
 // permutation of the distributed sequence input (Theorem 7):
 // permutation property via Lemma 4, local sortedness, and the boundary
-// exchange. Time O(Tcheck-perm(n, p, delta)).
+// condition that no PE's largest element exceeds the first element of
+// any successor. Both properties travel in one all-reduction — the
+// boundary condition as a rank-ordered interval merge (see
+// SortedState), which replaces the seed's sequential right-to-left
+// boundary chain. Time O(Tcheck-perm(n, p, delta)).
 func CheckSorted(w *dist.Worker, cfg PermConfig, input, output []uint64) (bool, error) {
-	perm, err := CheckPermutation(w, cfg, input, output)
+	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	sortedOK, err := localSortednessOK(w, output)
-	if err != nil {
-		return false, err
-	}
-	agree, err := w.Coll.AllAgree(sortedOK)
-	if err != nil {
-		return false, err
-	}
-	return perm && agree, nil
+	return resolveOne(w, NewSortedState("Sorted", cfg, seed, [][]uint64{input}, output))
 }
 
 // CheckMerge checks Merge(s1, s2) = out (Corollary 13): out must be
 // sorted and a permutation of the union of the two sorted inputs.
 func CheckMerge(w *dist.Worker, cfg PermConfig, s1, s2, out []uint64) (bool, error) {
-	perm, err := CheckPermutationMulti(w, cfg, [][]uint64{s1, s2}, out)
+	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	sortedOK, err := localSortednessOK(w, out)
-	if err != nil {
-		return false, err
-	}
-	agree, err := w.Coll.AllAgree(sortedOK)
-	if err != nil {
-		return false, err
-	}
-	return perm && agree, nil
+	return resolveOne(w, NewSortedState("Merge", cfg, seed, [][]uint64{s1, s2}, out))
 }

@@ -252,47 +252,23 @@ func allZero(table []uint64) bool {
 	return true
 }
 
-// checkTablesMatch reduces the normalized difference of the two local
-// tables to PE 0, tests it against zero there, and broadcasts the
-// verdict. Communication: #its * d * ceil(log 2rhat) bits up the
-// binomial tree plus a one-word verdict broadcast —
-// O(beta*d*log(rhat) + alpha*log p), per Lemma 3.
-func checkTablesMatch(w *dist.Worker, c *SumChecker, tv, to []uint64) (bool, error) {
-	c.Normalize(tv)
-	c.Normalize(to)
-	diff := c.Diff(tv, to)
-	red, err := w.Coll.Reduce(0, diff, c.ReduceOp())
-	if err != nil {
-		return false, err
-	}
-	verdict := uint64(0)
-	if w.Rank() == 0 && allZero(red) {
-		verdict = 1
-	}
-	v, err := w.Coll.BroadcastU64(0, verdict)
-	if err != nil {
-		return false, err
-	}
-	return v == 1, nil
-}
-
 // CheckSumAgg checks that output is the correct sum aggregation of
 // input (Theorem 1). input is this PE's share of the aggregation input;
 // output is this PE's share of the asserted result (one pair per key,
 // any distribution). The verdict is identical on all PEs. A correct
 // result is always accepted; an incorrect one is accepted with
 // probability at most cfg.AchievedDelta().
+//
+// Communication: one all-reduction of the normalized difference table —
+// #its * d * ceil(log 2rhat) bits, O(beta*d*log(rhat) + alpha*log p),
+// per Lemma 3. The two-phase form (NewSumAggState + Resolve) lets
+// pipelines batch this round with other pending checkers.
 func CheckSumAgg(w *dist.Worker, cfg SumConfig, input, output []data.Pair) (bool, error) {
 	seed, err := w.CommonSeed()
 	if err != nil {
 		return false, err
 	}
-	c := NewSumChecker(cfg, seed)
-	tv := c.NewTable()
-	c.Accumulate(tv, input)
-	to := c.NewTable()
-	c.Accumulate(to, output)
-	return checkTablesMatch(w, c, tv, to)
+	return resolveOne(w, NewSumAggState("SumAgg", cfg, seed, input, output))
 }
 
 // CheckCountAgg checks count aggregation: output must hold, per key,
@@ -302,12 +278,7 @@ func CheckCountAgg(w *dist.Worker, cfg SumConfig, input, output []data.Pair) (bo
 	if err != nil {
 		return false, err
 	}
-	c := NewSumChecker(cfg, seed)
-	tv := c.NewTable()
-	c.AccumulateCount(tv, input)
-	to := c.NewTable()
-	c.Accumulate(to, output)
-	return checkTablesMatch(w, c, tv, to)
+	return resolveOne(w, NewCountAggState("CountAgg", cfg, seed, input, output))
 }
 
 // SumCheckLocalWork exposes the local processing step in isolation for

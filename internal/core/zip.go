@@ -38,9 +38,9 @@ func zipFingerprint(xs []uint64, start uint64, seeds []uint64) []uint64 {
 // of out must equal s1 in order, the second components s2 in order,
 // even though the three sequences may be distributed differently.
 // Each sequence is fingerprinted with position-dependent weights keyed
-// by the global element index (obtained from a prefix sum over local
-// sizes); matching fingerprints accept. Failure probability about
-// (1/2^61)^Iterations per component. Time
+// by the global element index (obtained from one vectorized prefix sum
+// over the three local sizes); matching fingerprints accept. Failure
+// probability about (1/2^61)^Iterations per component. Time
 // O(n/p * its + beta*its + alpha*log p).
 func CheckZip(w *dist.Worker, cfg ZipConfig, s1, s2 []uint64, out []data.Pair) (bool, error) {
 	if cfg.Iterations < 1 {
@@ -50,71 +50,37 @@ func CheckZip(w *dist.Worker, cfg ZipConfig, s1, s2 []uint64, out []data.Pair) (
 	if err != nil {
 		return false, err
 	}
-	seeds := hashing.SubSeeds(seed^0x21b021b021b021b0, cfg.Iterations)
-
-	start1, n1, err := exclusiveCount(w, len(s1))
+	starts, totals, err := ExclusiveCounts(w, len(s1), len(s2), len(out))
 	if err != nil {
 		return false, err
 	}
-	start2, n2, err := exclusiveCount(w, len(s2))
-	if err != nil {
-		return false, err
-	}
-	startO, nO, err := exclusiveCount(w, len(out))
-	if err != nil {
-		return false, err
-	}
-	lengthsOK := n1 == n2 && n2 == nO
-
-	outFirst := make([]uint64, len(out))
-	outSecond := make([]uint64, len(out))
-	for i, pr := range out {
-		outFirst[i] = pr.Key
-		outSecond[i] = pr.Value
-	}
-
-	f1 := zipFingerprint(s1, start1, seeds)
-	f2 := zipFingerprint(s2, start2, seeds)
-	fo1 := zipFingerprint(outFirst, startO, seeds)
-	fo2 := zipFingerprint(outSecond, startO, seeds)
-
-	// lambda = (f1 - fo1, f2 - fo2) mod 2^61-1, summed over PEs.
-	lambda := make([]uint64, 2*cfg.Iterations)
-	for it := 0; it < cfg.Iterations; it++ {
-		lambda[2*it] = hashing.SubMod61(f1[it], fo1[it])
-		lambda[2*it+1] = hashing.SubMod61(f2[it], fo2[it])
-	}
-	red, err := w.Coll.AllReduce(lambda, func(dst, src []uint64) {
-		for i := range dst {
-			dst[i] = hashing.AddMod61(dst[i], src[i])
-		}
-	})
-	if err != nil {
-		return false, err
-	}
-	ok := lengthsOK
-	for _, v := range red {
-		if v != 0 {
-			ok = false
-		}
-	}
-	return w.Coll.AllAgree(ok)
+	lengthsOK := totals[0] == totals[1] && totals[1] == totals[2]
+	st := NewZipState("Zip", cfg, seed, s1, s2, out, starts[0], starts[1], starts[2], lengthsOK)
+	return resolveOne(w, st)
 }
 
-// exclusiveCount returns this PE's global start offset for a local
-// share of the given size, plus the global total.
-func exclusiveCount(w *dist.Worker, n int) (start, total uint64, err error) {
-	excl, err := w.Coll.ExclusiveScan([]uint64{uint64(n)}, func(dst, src []uint64) {
-		dst[0] += src[0]
-	}, []uint64{0})
-	if err != nil {
-		return 0, 0, err
+// ExclusiveCounts returns, for each local share size in ns, this PE's
+// global start offset and the global total — one vectorized exclusive
+// prefix sum plus one all-reduction, regardless of how many sizes are
+// asked for. Operations use it to learn the global indexing their
+// checkers' position-dependent fingerprints need.
+func ExclusiveCounts(w *dist.Worker, ns ...int) (starts, totals []uint64, err error) {
+	vec := make([]uint64, len(ns))
+	for i, n := range ns {
+		vec[i] = uint64(n)
 	}
-	tot, err := w.Coll.AllReduce([]uint64{uint64(n)}, func(dst, src []uint64) {
-		dst[0] += src[0]
-	})
-	if err != nil {
-		return 0, 0, err
+	sum := func(dst, src []uint64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
 	}
-	return excl[0], tot[0], nil
+	starts, err = w.Coll.ExclusiveScan(vec, sum, make([]uint64, len(ns)))
+	if err != nil {
+		return nil, nil, err
+	}
+	totals, err = w.Coll.AllReduce(vec, sum)
+	if err != nil {
+		return nil, nil, err
+	}
+	return starts, totals, nil
 }

@@ -5,12 +5,15 @@
 package exp
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/dist"
 	"repro/internal/hashing"
 	"repro/internal/manipulate"
 	"repro/internal/workload"
@@ -41,6 +44,11 @@ type AccuracySumOptions struct {
 	TargetFails float64 // grow runs until delta*runs >= this many expected failures
 	Seed        uint64
 	Parallelism int // worker goroutines (0 = GOMAXPROCS)
+	// Dist selects the transport for the per-configuration distributed
+	// clean-accept confirmation (the trial loop itself is local hash
+	// arithmetic — the network reduction is exact, so it cannot change
+	// a trial's outcome). The zero value is the in-memory network.
+	Dist dist.Config
 }
 
 // DefaultAccuracySumOptions returns laptop-scale defaults.
@@ -116,10 +124,32 @@ func parallelTrials(runs, parallelism int, trial func(i int) bool) int {
 // fresh random seed — exactly the event in which the distributed
 // checker would accept the faulty computation (the network reduction is
 // exact modular addition, so it cannot change the outcome; this lets
-// one trial run without spinning up PEs).
-func AccuracySum(opt AccuracySumOptions) []AccuracyRow {
+// one trial run without spinning up PEs). Each configuration is
+// additionally confirmed once end to end — a checked reduction over the
+// opt.Dist transport must accept clean data — so the sweep exercises
+// the same backend plumbing as every other experiment.
+func AccuracySum(opt AccuracySumOptions) ([]AccuracyRow, error) {
+	d := DefaultAccuracySumOptions()
 	if opt.Elements <= 0 {
-		opt = DefaultAccuracySumOptions()
+		opt.Elements = d.Elements
+	}
+	if opt.KeyUniverse <= 0 {
+		opt.KeyUniverse = d.KeyUniverse
+	}
+	if opt.MinRuns <= 0 {
+		opt.MinRuns = d.MinRuns
+	}
+	if opt.MaxRuns <= 0 {
+		opt.MaxRuns = d.MaxRuns
+	}
+	if opt.TargetFails <= 0 {
+		opt.TargetFails = d.TargetFails
+	}
+	if opt.Seed == 0 {
+		opt.Seed = d.Seed
+	}
+	if err := confirmSumConfigs(opt.Dist, core.AccuracyConfigs(), opt.Seed); err != nil {
+		return nil, err
 	}
 	input := workload.ZipfPairs(opt.Elements, opt.KeyUniverse, 1<<32, opt.Seed)
 	var rows []AccuracyRow
@@ -155,7 +185,7 @@ func AccuracySum(opt AccuracySumOptions) []AccuracyRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func tablesEqual(a, b []uint64) bool {
@@ -178,6 +208,9 @@ type AccuracyPermOptions struct {
 	TargetFails float64
 	Seed        uint64
 	Parallelism int
+	// Dist selects the transport for the per-configuration distributed
+	// clean-accept confirmation; see AccuracySumOptions.Dist.
+	Dist dist.Config
 }
 
 // DefaultAccuracyPermOptions returns laptop-scale defaults.
@@ -198,10 +231,31 @@ var PermLogHs = []int{1, 2, 3, 4, 6, 8, 12}
 // AccuracyPerm reproduces Fig. 5: the permutation/sort checker's
 // detection accuracy for CRC-32C and tabulation hashing truncated to
 // logH bits, under the Table 6 manipulators. This is where the paper
-// observes CRC-32C's weakness against the Increment manipulator.
-func AccuracyPerm(opt AccuracyPermOptions) []AccuracyRow {
+// observes CRC-32C's weakness against the Increment manipulator. As in
+// AccuracySum, every swept configuration is confirmed once end to end
+// over the opt.Dist transport.
+func AccuracyPerm(opt AccuracyPermOptions) ([]AccuracyRow, error) {
+	d := DefaultAccuracyPermOptions()
 	if opt.Elements <= 0 {
-		opt = DefaultAccuracyPermOptions()
+		opt.Elements = d.Elements
+	}
+	if opt.Universe == 0 {
+		opt.Universe = d.Universe
+	}
+	if opt.MinRuns <= 0 {
+		opt.MinRuns = d.MinRuns
+	}
+	if opt.MaxRuns <= 0 {
+		opt.MaxRuns = d.MaxRuns
+	}
+	if opt.TargetFails <= 0 {
+		opt.TargetFails = d.TargetFails
+	}
+	if opt.Seed == 0 {
+		opt.Seed = d.Seed
+	}
+	if err := confirmPermConfigs(opt.Dist, opt.Seed); err != nil {
+		return nil, err
 	}
 	input := workload.UniformU64s(opt.Elements, opt.Universe, opt.Seed)
 	var rows []AccuracyRow
@@ -242,5 +296,95 @@ func AccuracyPerm(opt AccuracyPermOptions) []AccuracyRow {
 			}
 		}
 	}
-	return rows
+	return rows, nil
+}
+
+// Confirmation runs depend only on (transport, config, seed); repeated
+// sweeps — notably benchmarks calling AccuracySum in a loop — must not
+// pay a distributed run per invocation, so outcomes are memoized.
+var (
+	confirmMu   sync.Mutex
+	confirmDone = map[string]bool{}
+)
+
+func confirmOnce(key string, run func() error) error {
+	confirmMu.Lock()
+	done := confirmDone[key]
+	confirmMu.Unlock()
+	if done {
+		return nil
+	}
+	// The lock is not held across the distributed run: concurrent first
+	// callers may confirm the same key twice (idempotent), but
+	// confirmations for unrelated keys never serialize behind each
+	// other's network setup.
+	if err := run(); err != nil {
+		return err
+	}
+	confirmMu.Lock()
+	confirmDone[key] = true
+	confirmMu.Unlock()
+	return nil
+}
+
+// confirmSumConfigs runs one tiny checked reduction per configuration
+// over the selected transport: clean data must be accepted (one-sided
+// error). This ties the accuracy sweeps into the same dist.Config
+// plumbing as the distributed experiments.
+func confirmSumConfigs(cfg dist.Config, sumCfgs []core.SumConfig, seed uint64) error {
+	const p = 2
+	for _, sc := range sumCfgs {
+		sc := sc
+		key := fmt.Sprintf("sum/%s/%s/%d", cfg.Transport, sc.Name(), seed)
+		err := confirmOnce(key, func() error {
+			input := workload.ZipfPairs(400, 1000, 1<<20, seed)
+			return dist.RunConfig(cfg, p, seed, func(w *dist.Worker) error {
+				opts := repro.DefaultOptions()
+				opts.Sum = sc
+				ctx, err := repro.NewContext(w, opts)
+				if err != nil {
+					return err
+				}
+				s, e := data.SplitEven(len(input), p, w.Rank())
+				_, err = ctx.Pairs(input[s:e]).ReduceByKey(repro.SumFn).Collect()
+				return err
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("exp: config %s failed the clean-accept confirmation over %q: %w",
+				sc.Name(), cfg.Transport, err)
+		}
+	}
+	return nil
+}
+
+// confirmPermConfigs is confirmSumConfigs for the Fig. 5 permutation
+// configurations: a checked sort per hash family and truncation width.
+func confirmPermConfigs(cfg dist.Config, seed uint64) error {
+	const p = 2
+	for _, fam := range []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab} {
+		for _, logH := range PermLogHs {
+			pc := core.PermConfig{Family: fam, LogH: logH, Iterations: 1}
+			key := fmt.Sprintf("perm/%s/%s/%d", cfg.Transport, pc.Name(), seed)
+			err := confirmOnce(key, func() error {
+				input := workload.UniformU64s(400, 1e8, seed)
+				return dist.RunConfig(cfg, p, seed, func(w *dist.Worker) error {
+					opts := repro.DefaultOptions()
+					opts.Perm = pc
+					ctx, err := repro.NewContext(w, opts)
+					if err != nil {
+						return err
+					}
+					s, e := data.SplitEven(len(input), p, w.Rank())
+					_, err = ctx.Seq(input[s:e]).Sort().Collect()
+					return err
+				})
+			})
+			if err != nil {
+				return fmt.Errorf("exp: config %s failed the clean-accept confirmation over %q: %w",
+					pc.Name(), cfg.Transport, err)
+			}
+		}
+	}
+	return nil
 }

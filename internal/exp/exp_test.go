@@ -22,7 +22,10 @@ func fastSumOpts() AccuracySumOptions {
 }
 
 func TestAccuracySumShape(t *testing.T) {
-	rows := AccuracySum(fastSumOpts())
+	rows, err := AccuracySum(fastSumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantRows := len(core.AccuracyConfigs()) * 6 // 6 Table 4 manipulators
 	if len(rows) != wantRows {
 		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
@@ -42,7 +45,10 @@ func TestAccuracySumHighDeltaConfigsFailSometimes(t *testing.T) {
 	// must both fail and succeed sometimes for value-preserving key
 	// manipulations. (Bitflip on a value is always caught by m31's
 	// huge modulus, so use RandKey rows.)
-	rows := AccuracySum(fastSumOpts())
+	rows, err := AccuracySum(fastSumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.Manipulator != "RandKey" {
 			continue
@@ -63,7 +69,10 @@ func TestAccuracySumRatioWithinBoundForTab(t *testing.T) {
 	// Tabulation hashing should respect the theoretical bound within
 	// sampling noise (the paper's headline accuracy claim). Allow a
 	// generous 1.8x for 300-run noise at delta 0.5/0.25.
-	rows := AccuracySum(fastSumOpts())
+	rows, err := AccuracySum(fastSumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if !strings.Contains(r.Config, "Tab") {
 			continue
@@ -83,7 +92,10 @@ func TestAccuracyPermShape(t *testing.T) {
 		TargetFails: 1,
 		Seed:        2,
 	}
-	rows := AccuracyPerm(opt)
+	rows, err := AccuracyPerm(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantRows := 2 * len(PermLogHs) * 5 // CRC+Tab, 5 Table 6 manipulators
 	if len(rows) != wantRows {
 		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
@@ -104,7 +116,10 @@ func TestAccuracyPermCRCIncrementAnomaly(t *testing.T) {
 		TargetFails: 1,
 		Seed:        3,
 	}
-	rows := AccuracyPerm(opt)
+	rows, err := AccuracyPerm(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var crcWorst, tabWorst float64
 	for _, r := range rows {
 		if r.Manipulator != "Increment" {
@@ -251,7 +266,10 @@ func TestRenderers(t *testing.T) {
 	if s := RenderTable6(); !strings.Contains(s, "SetEqual") {
 		t.Error("Table 6 rendering incomplete")
 	}
-	rows := AccuracySum(fastSumOpts())
+	rows, err := AccuracySum(fastSumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := RenderAccuracy("Fig. 3", rows); !strings.Contains(s, "[Bitflip]") {
 		t.Error("accuracy rendering incomplete")
 	}

@@ -33,6 +33,11 @@ type ModeledScalingOptions struct {
 	BetaNsPerB float64 // per-byte time (default 1 ns = 1 GB/s)
 	Config     core.SumConfig
 	Seed       uint64
+	// Dist selects the transport. This experiment reads virtual clocks,
+	// so only TransportSim (the zero value, filled from AlphaNs and
+	// BetaNsPerB) is accepted; the field exists so the harness shares
+	// the dist.Config plumbing with every other experiment.
+	Dist dist.Config
 }
 
 // DefaultModeledScalingOptions reaches the paper's 2^5..2^12 PE range.
@@ -53,16 +58,47 @@ func DefaultModeledScalingOptions() ModeledScalingOptions {
 // operation's grows with the exchanged data volume — the asymptotic
 // separation behind Fig. 4's flat overhead curves.
 func ModeledScaling(opt ModeledScalingOptions) ([]ModeledRow, error) {
+	d := DefaultModeledScalingOptions()
 	if opt.ItemsPerPE <= 0 {
-		opt = DefaultModeledScalingOptions()
+		opt.ItemsPerPE = d.ItemsPerPE
+	}
+	if len(opt.PEs) == 0 {
+		opt.PEs = d.PEs
+	}
+	if opt.AlphaNs == 0 && opt.BetaNsPerB == 0 {
+		opt.AlphaNs, opt.BetaNsPerB = d.AlphaNs, d.BetaNsPerB
+	}
+	if opt.Config.Family.New == nil {
+		opt.Config = d.Config
+	}
+	if opt.Seed == 0 {
+		opt.Seed = d.Seed
+	}
+	cfg := opt.Dist
+	if cfg.Transport == "" {
+		cfg.Transport = dist.TransportSim
+	}
+	if cfg.Transport != dist.TransportSim {
+		return nil, fmt.Errorf("exp: modeled scaling reads virtual clocks and requires the simnet transport, got %q", cfg.Transport)
+	}
+	if cfg.SimAlphaNs == 0 && cfg.SimBetaNsPerByte == 0 {
+		cfg.SimAlphaNs, cfg.SimBetaNsPerByte = opt.AlphaNs, opt.BetaNsPerB
 	}
 	var rows []ModeledRow
 	for _, p := range opt.PEs {
 		zipf := workload.NewZipf(1e6, hashing.NewMT19937_64(opt.Seed))
-		net := comm.NewSimNetwork(p, opt.AlphaNs, opt.BetaNsPerB)
+		built, err := cfg.NewNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		net, ok := built.(*comm.SimNetwork)
+		if !ok {
+			built.Close()
+			return nil, fmt.Errorf("exp: modeled scaling requires a *comm.SimNetwork, got %T", built)
+		}
 		locals := make([][]data.Pair, p)
 		outs := make([][]data.Pair, p)
-		err := dist.RunNetwork(net, opt.Seed, func(w *dist.Worker) error {
+		err = dist.RunNetwork(net, opt.Seed, func(w *dist.Worker) error {
 			local := make([]data.Pair, opt.ItemsPerPE)
 			for i := range local {
 				local[i] = data.Pair{Key: zipf.SampleR(w.Rng), Value: w.Rng.Uint64n(1 << 30)}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
-	"repro/internal/ops"
 	"repro/internal/workload"
 )
 
@@ -33,6 +33,9 @@ type WeakScalingOptions struct {
 	Repeats     int   // timing repetitions per point
 	Seed        uint64
 	Configs     []core.SumConfig // defaults to core.ScalingConfigs()
+	// Mode times the checked runs eagerly or deferred; baselines always
+	// run with checking off.
+	Mode repro.CheckMode
 	// Dist selects the transport the pipeline runs over; the zero value
 	// is the in-memory network. Wall-clock ratios are only meaningful on
 	// mem and tcp (simnet time is virtual), but every backend works.
@@ -51,11 +54,24 @@ func DefaultWeakScalingOptions() WeakScalingOptions {
 }
 
 // WeakScaling reproduces Fig. 4: for each PE count, time the
-// distributed ReduceByKey pipeline without a checker and with the sum
-// aggregation checker in each scaling configuration.
+// distributed ReduceByKey pipeline without a checker (CheckOff) and
+// with the sum aggregation checker in each scaling configuration.
 func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
+	d := DefaultWeakScalingOptions()
 	if opt.ItemsPerPE <= 0 {
-		opt = DefaultWeakScalingOptions()
+		opt.ItemsPerPE = d.ItemsPerPE
+	}
+	if opt.KeyUniverse <= 0 {
+		opt.KeyUniverse = d.KeyUniverse
+	}
+	if len(opt.PEs) == 0 {
+		opt.PEs = d.PEs
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = d.Repeats
+	}
+	if opt.Seed == 0 {
+		opt.Seed = d.Seed
 	}
 	configs := opt.Configs
 	if configs == nil {
@@ -88,16 +104,24 @@ func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
 	return rows, nil
 }
 
-// timeReduce times the reduce(-and-check) pipeline, returning the mean
-// seconds over opt.Repeats runs (after one warm-up run). The transport
-// is built once and reused across all repetitions — rebuilding e.g.
-// the O(p²) TCP mesh per run would dominate the timings being taken.
+// timeReduce times the reduce(-and-check) pipeline via the Context API,
+// returning the mean seconds over opt.Repeats runs (after one warm-up
+// run). cfg == nil times the CheckOff baseline. The transport is built
+// once and reused across all repetitions — rebuilding e.g. the O(p²)
+// TCP mesh per run would dominate the timings being taken.
 func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.SumConfig) (float64, error) {
 	net, err := opt.Dist.NewNetwork(p)
 	if err != nil {
 		return 0, err
 	}
 	defer net.Close()
+	opts := repro.DefaultOptions()
+	if cfg == nil {
+		opts.Mode = repro.CheckOff
+	} else {
+		opts.Sum = *cfg
+		opts.Mode = opt.Mode
+	}
 	run := func(rep int) (time.Duration, error) {
 		var elapsed time.Duration
 		err := dist.RunNetworkTimeout(net, opt.Dist.Timeout, opt.Seed+uint64(rep)*7919, func(w *dist.Worker) error {
@@ -107,23 +131,19 @@ func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.Su
 			for i := range local {
 				local[i] = data.Pair{Key: zipf.SampleR(w.Rng), Value: w.Rng.Uint64n(1 << 30)}
 			}
-			pt := ops.NewPartitioner(opt.Seed, p)
+			ctx, err := repro.NewContext(w, opts)
+			if err != nil {
+				return err
+			}
 			if err := w.Coll.Barrier(); err != nil {
 				return err
 			}
 			start := time.Now()
-			out, err := ops.ReduceByKey(w, pt, local, ops.SumFn)
-			if err != nil {
+			if _, err := ctx.Pairs(local).ReduceByKey(repro.SumFn).Collect(); err != nil {
 				return err
 			}
-			if cfg != nil {
-				ok, err := core.CheckSumAgg(w, *cfg, local, out)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return fmt.Errorf("exp: checker rejected a correct reduction")
-				}
+			if err := ctx.Verify(); err != nil {
+				return err
 			}
 			if err := w.Coll.Barrier(); err != nil {
 				return err

@@ -3,18 +3,17 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/comm"
+	"repro"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
-	"repro/internal/ops"
 	"repro/internal/workload"
 )
 
 // VolumeRow quantifies the paper's central claim — sublinear bottleneck
 // communication volume — for one input size: the maximum bytes any PE
-// sends/receives during the operation itself versus during its checker.
+// sends during the operation itself versus during its checker.
 type VolumeRow struct {
 	N            int   // total input elements
 	P            int   // PEs
@@ -30,6 +29,10 @@ type CommVolumeOptions struct {
 	Ns     []int // total element counts to sweep
 	Config core.SumConfig
 	Seed   uint64
+	// Dist selects the transport; the zero value is the in-memory
+	// network. Every endpoint meters traffic, so the audit runs over
+	// any backend.
+	Dist dist.Config
 }
 
 // DefaultCommVolumeOptions sweeps three decades of input size.
@@ -42,61 +45,63 @@ func DefaultCommVolumeOptions() CommVolumeOptions {
 	}
 }
 
-// CommVolume measures, on an instrumented in-memory network, the
-// bottleneck communication volume of a distributed reduction versus its
-// checker across input sizes: the operation's volume grows with n while
-// the checker's stays constant — o(n/p), the Section 1 criterion.
+// CommVolume measures the bottleneck communication volume of a
+// distributed reduction versus its checker across input sizes, from the
+// per-stage CheckStats the pipeline Context records: the operation's
+// volume grows with n while the checker's stays constant — o(n/p), the
+// Section 1 criterion. One pipeline run per input size; no hand-rolled
+// network metering or phase resets.
 func CommVolume(opt CommVolumeOptions) ([]VolumeRow, error) {
+	d := DefaultCommVolumeOptions()
 	if opt.P <= 0 {
-		opt = DefaultCommVolumeOptions()
+		opt.P = d.P
+	}
+	if len(opt.Ns) == 0 {
+		opt.Ns = d.Ns
+	}
+	if opt.Config.Family.New == nil {
+		opt.Config = d.Config
+	}
+	if opt.Seed == 0 {
+		opt.Seed = d.Seed
 	}
 	var rows []VolumeRow
 	for _, n := range opt.Ns {
 		global := workload.ZipfPairs(n, 1e6, 1<<30, opt.Seed)
-		net := comm.NewMemNetwork(opt.P)
-		outs := make([][]data.Pair, opt.P)
-		// Phase 1: the operation.
-		err := dist.RunNetwork(net, opt.Seed, func(w *dist.Worker) error {
-			s, e := data.SplitEven(len(global), opt.P, w.Rank())
-			out, err := ops.ReduceByKey(w, ops.NewPartitioner(opt.Seed, opt.P), global[s:e], ops.SumFn)
+		perPE := make([]repro.CheckStats, opt.P)
+		err := dist.RunConfig(opt.Dist, opt.P, opt.Seed, func(w *dist.Worker) error {
+			opts := repro.DefaultOptions()
+			opts.Sum = opt.Config
+			ctx, err := repro.NewContext(w, opts)
 			if err != nil {
 				return err
 			}
-			outs[w.Rank()] = out
-			return nil
-		})
-		if err != nil {
-			net.Close()
-			return nil, err
-		}
-		opVol := comm.NetworkBottleneck(net)
-		comm.ResetNetwork(net)
-		// Phase 2: the checker alone.
-		err = dist.RunNetwork(net, opt.Seed+1, func(w *dist.Worker) error {
 			s, e := data.SplitEven(len(global), opt.P, w.Rank())
-			ok, err := core.CheckSumAgg(w, opt.Config, global[s:e], outs[w.Rank()])
-			if err != nil {
+			if _, err := ctx.Pairs(global[s:e]).ReduceByKey(repro.SumFn).Collect(); err != nil {
 				return err
 			}
-			if !ok {
-				return fmt.Errorf("exp: checker rejected a correct reduction")
-			}
+			perPE[w.Rank()] = ctx.Stats()[0]
 			return nil
 		})
 		if err != nil {
-			net.Close()
-			return nil, err
+			return nil, fmt.Errorf("exp: comm volume n=%d: %w", n, err)
 		}
-		chkVol := comm.NetworkBottleneck(net)
-		net.Close()
-		rows = append(rows, VolumeRow{
-			N:            n,
-			P:            opt.P,
-			OpBytes:      opVol.MaxBytes,
-			CheckerBytes: chkVol.MaxBytes,
-			CheckerMsgs:  chkVol.MaxMsgs,
-			TableBits:    opt.Config.TableBits(),
-		})
+		row := VolumeRow{N: n, P: opt.P, TableBits: opt.Config.TableBits()}
+		for _, st := range perPE {
+			if st.Verdict != repro.VerdictPass {
+				return nil, fmt.Errorf("exp: checker rejected a correct reduction (n=%d)", n)
+			}
+			if st.OpBytes > row.OpBytes {
+				row.OpBytes = st.OpBytes
+			}
+			if st.CheckerBytes > row.CheckerBytes {
+				row.CheckerBytes = st.CheckerBytes
+			}
+			if st.CheckerMsgs > row.CheckerMsgs {
+				row.CheckerMsgs = st.CheckerMsgs
+			}
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

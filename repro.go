@@ -2,21 +2,43 @@
 // "Communication Efficient Checking of Big Data Operations"
 // (Hübschle-Schneider and Sanders): a data-parallel framework in the
 // style of Thrill whose operations are verified by communication
-// efficient probabilistic checkers.
+// efficient probabilistic checkers. Checkers have one-sided error —
+// correct results are never rejected — and add o(n/p) bottleneck
+// communication volume.
 //
-// The checked operations below mirror the paper's integration model:
-// each runs the distributed operation and immediately verifies it with
-// the matching checker, returning ErrCheckFailed when the verdict is
-// negative. Checkers have one-sided error — correct results are never
-// rejected — and add o(n/p) bottleneck communication volume.
+// # Pipelines
 //
-// Quick start:
+// Work is expressed as a pipeline on a Context, created once per
+// Worker. Entry points Pairs and Seq wrap this PE's local share of a
+// distributed collection; fluent operations chain off them and register
+// their checkers with the Context:
 //
 //	err := repro.Run(4, 42, func(w *repro.Worker) error {
-//		local := myShareOfInput(w.Rank())
-//		sums, err := repro.ReduceByKeyChecked(w, repro.DefaultOptions(), local, repro.SumFn)
+//		ctx, err := repro.NewContext(w, repro.DefaultOptions())
+//		if err != nil {
+//			return err
+//		}
+//		sums, err := ctx.Pairs(myShare(w.Rank())).ReduceByKey(repro.SumFn).Collect()
 //		...
 //	})
+//
+// Options.Mode selects when checkers resolve their collective rounds:
+//
+//	CheckEager     every operation verifies inline (default)
+//	CheckDeferred  checkers accumulate locally; one batched round at
+//	               ctx.Verify() resolves all of them and names any
+//	               failing stage
+//	CheckOff       no checking, for baseline timing
+//
+// The paper's checkers are designed to run concurrently with the
+// checked operation; CheckDeferred realizes the communication half of
+// that design point — k chained operations pay ~1 verification round
+// instead of k. Every stage additionally records a CheckStats entry
+// (data volumes, checker bytes, wall times, verdict) retrievable from
+// the Context.
+//
+// The former top-level operations (ReduceByKeyChecked and friends)
+// remain as deprecated thin wrappers over an eager Context.
 //
 // See examples/ for runnable programs and internal/exp for the
 // experiment harness that regenerates the paper's tables and figures.
@@ -24,7 +46,6 @@ package repro
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -36,6 +57,7 @@ import (
 
 // ErrCheckFailed reports that a checker rejected an operation's result:
 // with probability at least 1-delta the computation was incorrect.
+// Stage-level failures (StageError) unwrap to it.
 var ErrCheckFailed = errors.New("repro: checker rejected the operation result")
 
 // Re-exported building blocks, so applications only import this
@@ -49,6 +71,8 @@ type (
 	Worker = dist.Worker
 	// ReduceFn combines two values of equal keys.
 	ReduceFn = ops.ReduceFn
+	// Group is one key's collected values from GroupByKey.
+	Group = ops.Group
 	// JoinRow is one inner-join match.
 	JoinRow = ops.JoinRow
 	// MinMaxResult is the replicated result + witness certificate of
@@ -96,7 +120,8 @@ func RunConfig(cfg Config, p int, seed uint64, body func(w *Worker) error) error
 	return dist.RunConfig(cfg, p, seed, body)
 }
 
-// Options selects checker configurations for the checked operations.
+// Options selects checker configurations and the check mode for a
+// Context's operations.
 type Options struct {
 	// Sum parameterises sum/count/average/median checking.
 	Sum core.SumConfig
@@ -105,11 +130,15 @@ type Options struct {
 	Perm core.PermConfig
 	// Zip parameterises zip checking.
 	Zip core.ZipConfig
+	// Mode selects when checkers resolve their collective rounds; the
+	// zero value is CheckEager.
+	Mode CheckMode
 }
 
 // DefaultOptions returns a configuration with failure probability below
 // 1e-9 for every checker at modest cost (the paper's "6×32 CRC m9"
-// scaling configuration and a 32-bit two-iteration fingerprint).
+// scaling configuration and a 32-bit two-iteration fingerprint), in
+// eager mode.
 func DefaultOptions() Options {
 	return Options{
 		Sum:  core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
@@ -120,290 +149,176 @@ func DefaultOptions() Options {
 
 // CheckSum verifies an asserted sum aggregation result against its
 // input without re-running the operation — the pure checker interface
-// for outputs produced elsewhere (Theorem 1).
+// for outputs produced elsewhere (Theorem 1). For the pipeline form see
+// Context.AssertSum.
 func CheckSum(w *Worker, opts Options, input, output []Pair) (bool, error) {
 	return core.CheckSumAgg(w, opts.Sum, input, output)
 }
 
 // CheckSorted verifies that output is a sorted permutation of input
-// without re-running the sort (Theorem 7).
+// without re-running the sort (Theorem 7). For the pipeline form see
+// Context.AssertSorted.
 func CheckSorted(w *Worker, opts Options, input, output []uint64) (bool, error) {
 	return core.CheckSorted(w, opts.Perm, input, output)
 }
 
-// partitioner derives a shared hash partitioner for this run.
-func partitioner(w *Worker) (ops.Partitioner, error) {
-	seed, err := w.CommonSeed()
-	if err != nil {
-		return ops.Partitioner{}, err
-	}
-	return ops.NewPartitioner(seed, w.Size()), nil
+// eagerContext builds the Context backing a deprecated wrapper: always
+// eager, so the wrapped operation verifies inline like it always did.
+func eagerContext(w *Worker, opts Options) (*Context, error) {
+	opts.Mode = CheckEager
+	return NewContext(w, opts)
 }
 
 // ReduceByKeyChecked aggregates values per key with fn and verifies the
-// result with the sum aggregation checker (Theorem 1). fn must satisfy
-// the checker's requirements: associative, commutative, and
-// x⊕y ≠ x for y ≠ 0 — SumFn and XorFn qualify.
+// result with the sum aggregation checker (Theorem 1).
+//
+// Deprecated: use Context.Pairs(local).ReduceByKey(fn) — it supports
+// deferred verification and stats; this wrapper remains for
+// compatibility and always verifies eagerly.
 func ReduceByKeyChecked(w *Worker, opts Options, local []Pair, fn ReduceFn) ([]Pair, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	out, err := ops.ReduceByKey(w, pt, local, fn)
-	if err != nil {
-		return nil, err
-	}
-	ok, err := core.CheckSumAgg(w, opts.Sum, local, out)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("ReduceByKey: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Pairs(local).ReduceByKey(fn).Collect()
 }
 
 // SortChecked sorts a distributed sequence and verifies the result with
 // the sort checker (Theorem 7).
+//
+// Deprecated: use Context.Seq(local).Sort().
 func SortChecked(w *Worker, opts Options, local []uint64) ([]uint64, error) {
-	out, err := ops.Sort(w, local)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	ok, err := core.CheckSorted(w, opts.Perm, local, out)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("Sort: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Seq(local).Sort().Collect()
 }
 
 // MergeChecked merges two sorted distributed sequences and verifies the
 // result (Corollary 13).
+//
+// Deprecated: use Context.Seq(a).Merge(ctx.Seq(b)).
 func MergeChecked(w *Worker, opts Options, a, b []uint64) ([]uint64, error) {
-	out, err := ops.Merge(w, a, b)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	ok, err := core.CheckMerge(w, opts.Perm, a, b, out)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("Merge: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Seq(a).Merge(ctx.Seq(b)).Collect()
 }
 
 // UnionChecked combines two distributed sequences and verifies the
 // result (Corollary 12).
+//
+// Deprecated: use Context.Seq(a).Union(ctx.Seq(b)).
 func UnionChecked(w *Worker, opts Options, a, b []uint64) ([]uint64, error) {
-	out, err := ops.Union(w, a, b)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	ok, err := core.CheckUnion(w, opts.Perm, a, b, out)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("Union: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Seq(a).Union(ctx.Seq(b)).Collect()
 }
 
 // ZipChecked zips two distributed sequences index-wise and verifies the
 // result (Theorem 11).
+//
+// Deprecated: use Context.Seq(a).Zip(ctx.Seq(b)).
 func ZipChecked(w *Worker, opts Options, a, b []uint64) ([]Pair, error) {
-	out, err := ops.Zip(w, a, b)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	ok, err := core.CheckZip(w, opts.Zip, a, b, out)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("Zip: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Seq(a).Zip(ctx.Seq(b)).Collect()
 }
 
 // MinByKeyChecked computes per-key minima and verifies them with the
-// deterministic certificate checker (Theorem 9). The result and witness
-// certificate are replicated at every PE, as the checker requires.
+// deterministic certificate checker (Theorem 9).
+//
+// Deprecated: use Context.Pairs(local).MinByKey().
 func MinByKeyChecked(w *Worker, opts Options, local []Pair) (MinMaxResult, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return MinMaxResult{}, err
 	}
-	res, err := ops.MinByKey(w, pt, local)
-	if err != nil {
-		return MinMaxResult{}, err
-	}
-	ok, err := core.CheckMinAgg(w, local, res.Result, res.Witness)
-	if err != nil {
-		return MinMaxResult{}, err
-	}
-	if !ok {
-		return MinMaxResult{}, fmt.Errorf("MinByKey: %w", ErrCheckFailed)
-	}
-	return res, nil
+	return ctx.Pairs(local).MinByKey()
 }
 
 // MaxByKeyChecked computes per-key maxima; see MinByKeyChecked.
+//
+// Deprecated: use Context.Pairs(local).MaxByKey().
 func MaxByKeyChecked(w *Worker, opts Options, local []Pair) (MinMaxResult, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return MinMaxResult{}, err
 	}
-	res, err := ops.MaxByKey(w, pt, local)
-	if err != nil {
-		return MinMaxResult{}, err
-	}
-	ok, err := core.CheckMaxAgg(w, local, res.Result, res.Witness)
-	if err != nil {
-		return MinMaxResult{}, err
-	}
-	if !ok {
-		return MinMaxResult{}, fmt.Errorf("MaxByKey: %w", ErrCheckFailed)
-	}
-	return res, nil
+	return ctx.Pairs(local).MaxByKey()
 }
 
 // MedianByKeyChecked computes per-key medians (returned as doubled
 // values, replicated at every PE) and verifies them with the median
-// checker using tie-breaking certificates (Theorem 10). Works for
-// arbitrary, also non-unique, values.
+// checker using tie-breaking certificates (Theorem 10).
+//
+// Deprecated: use Context.Pairs(local).MedianByKey().
 func MedianByKeyChecked(w *Worker, opts Options, local []Pair) ([]Pair, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	groups, err := ops.GroupByKey(w, pt, local)
-	if err != nil {
-		return nil, err
-	}
-	// Derive medians and tie certificates from the grouped values, then
-	// replicate both.
-	flat := make([]uint64, 0, 6*len(groups))
-	for _, g := range groups {
-		m2 := ops.MedianOfSorted2(g.Values)
-		tc := core.ComputeTieCert(g.Values, m2)
-		flat = append(flat, g.Key, m2, tc.EqLow, tc.EqHigh, tc.AtSlot)
-	}
-	all, err := w.Coll.AllGather(flat)
-	if err != nil {
-		return nil, err
-	}
-	var medians []Pair
-	ties := make(map[uint64]core.TieCert)
-	for _, ws := range all {
-		for i := 0; i+5 <= len(ws); i += 5 {
-			medians = append(medians, Pair{Key: ws[i], Value: ws[i+1]})
-			ties[ws[i]] = core.TieCert{EqLow: ws[i+2], EqHigh: ws[i+3], AtSlot: ws[i+4]}
-		}
-	}
-	data.SortPairsByKey(medians)
-	ok, err := core.CheckMedianAggTies(w, opts.Sum, local, medians, ties)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("MedianByKey: %w", ErrCheckFailed)
-	}
-	return medians, nil
+	return ctx.Pairs(local).MedianByKey()
 }
 
 // AverageByKeyChecked computes per-key averages as (key, sum, count)
-// triples — the count doubling as the Corollary 8 certificate — and
-// verifies them with the average checker. The result stays distributed.
+// triples and verifies them with the average checker (Corollary 8).
+//
+// Deprecated: use Context.Pairs(local).AverageByKey().
 func AverageByKeyChecked(w *Worker, opts Options, local []Pair) ([]Triple, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	out, err := ops.AverageByKey(w, pt, local)
-	if err != nil {
-		return nil, err
-	}
-	ok, err := core.CheckAvgAgg(w, opts.Sum, local, core.AvgAssertionsFromTriples(out))
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("AverageByKey: %w", ErrCheckFailed)
-	}
-	return out, nil
+	return ctx.Pairs(local).AverageByKey()
 }
 
 // JoinChecked computes the inner hash join of two relations with the
-// redistribution phase verified invasively (Corollary 15); the local
-// join logic itself is deterministic local work outside the checker's
-// scope, per the paper.
+// redistribution phase verified invasively (Corollary 15). Rows are
+// sorted by (key, left, right).
+//
+// Deprecated: use Context.Pairs(left).Join(ctx.Pairs(right)).
 func JoinChecked(w *Worker, opts Options, left, right []Pair) ([]JoinRow, error) {
-	pt, err := partitioner(w)
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	redL, err := ops.RedistributeByKey(w, pt, left)
-	if err != nil {
-		return nil, err
-	}
-	redR, err := ops.RedistributeByKey(w, pt, right)
-	if err != nil {
-		return nil, err
-	}
-	ok, err := core.CheckJoinRedistribution(w, opts.Perm, pt, redL.Before, redL.After, redR.Before, redR.After)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("Join: %w", ErrCheckFailed)
-	}
-	// Local join on the verified redistribution.
-	build := make(map[uint64][]uint64, len(redL.After))
-	for _, p := range redL.After {
-		build[p.Key] = append(build[p.Key], p.Value)
-	}
-	var rows []JoinRow
-	for _, p := range redR.After {
-		for _, lv := range build[p.Key] {
-			rows = append(rows, JoinRow{Key: p.Key, Left: lv, Right: p.Value})
-		}
-	}
-	return rows, nil
+	return ctx.Pairs(left).Join(ctx.Pairs(right))
 }
 
 // GroupByKeyChecked groups all values per key with the redistribution
 // phase verified invasively (Corollary 14).
-func GroupByKeyChecked(w *Worker, opts Options, local []Pair) ([]ops.Group, error) {
-	pt, err := partitioner(w)
+//
+// Deprecated: use Context.Pairs(local).GroupByKey().
+func GroupByKeyChecked(w *Worker, opts Options, local []Pair) ([]Group, error) {
+	ctx, err := eagerContext(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	red, err := ops.RedistributeByKey(w, pt, local)
-	if err != nil {
-		return nil, err
-	}
-	ok, err := core.CheckRedistribution(w, opts.Perm, pt, red.Before, red.After)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("GroupByKey: %w", ErrCheckFailed)
-	}
-	m := make(map[uint64][]uint64)
-	for _, p := range red.After {
-		m[p.Key] = append(m[p.Key], p.Value)
-	}
-	groups := make([]ops.Group, 0, len(m))
-	for k, vs := range m {
-		data.SortU64(vs)
-		groups = append(groups, ops.Group{Key: k, Values: vs})
-	}
+	return ctx.Pairs(local).GroupByKey()
+}
+
+// sortGroupsByKey orders groups ascending by key.
+func sortGroupsByKey(groups []Group) {
 	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
-	return groups, nil
+}
+
+// sortJoinRows orders join rows by (key, left, right), making join
+// output independent of map iteration order.
+func sortJoinRows(rows []JoinRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		if rows[i].Left != rows[j].Left {
+			return rows[i].Left < rows[j].Left
+		}
+		return rows[i].Right < rows[j].Right
+	})
 }
