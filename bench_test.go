@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
@@ -70,6 +71,85 @@ func BenchmarkTable5SumCheckerLocal(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(elements), "ns/elem")
 	})
+}
+
+// BenchmarkSumAccumulateEngine compares the three forms of the Table 5
+// local loop on the default scaling configuration: the element-major
+// scalar reference (the seed implementation), the blocked batch-hash
+// loop, and the ParallelAccumulator at 2 and 4 workers. All variants
+// compute identical residues; only wall time differs.
+func BenchmarkSumAccumulateEngine(b *testing.B) {
+	const elements = 200000
+	pairs := workload.UniformPairs(elements, 1<<62, 1<<62, 1)
+	cfg := core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC}
+	c := core.NewSumChecker(cfg, 7)
+	table := c.NewTable()
+	perElem := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(elements), "ns/elem")
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(16 * elements))
+		for i := 0; i < b.N; i++ {
+			c.AccumulateScalar(table, pairs, false)
+		}
+		perElem(b)
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(16 * elements))
+		for i := 0; i < b.N; i++ {
+			c.Accumulate(table, pairs)
+		}
+		perElem(b)
+	})
+	for _, w := range []int{2, 4} {
+		w := w
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			par := core.NewParallelAccumulator(w)
+			b.SetBytes(int64(16 * elements))
+			for i := 0; i < b.N; i++ {
+				par.AccumulateSum(c, table, pairs)
+			}
+			perElem(b)
+		})
+	}
+}
+
+// BenchmarkPermAccumulateEngine is BenchmarkSumAccumulateEngine for the
+// permutation fingerprint loop.
+func BenchmarkPermAccumulateEngine(b *testing.B) {
+	const elements = 200000
+	xs := workload.UniformU64s(elements, 1e8, 2)
+	cfg := core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 2}
+	c := core.NewPermChecker(cfg, 3)
+	sums := make([]uint64, cfg.Iterations)
+	perElem := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(elements), "ns/elem")
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(8 * elements))
+		for i := 0; i < b.N; i++ {
+			c.AccumulateIntoScalar(sums, xs, false)
+		}
+		perElem(b)
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(8 * elements))
+		for i := 0; i < b.N; i++ {
+			c.AccumulateInto(sums, xs, false)
+		}
+		perElem(b)
+	})
+	for _, w := range []int{2, 4} {
+		w := w
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			par := core.NewParallelAccumulator(w)
+			b.SetBytes(int64(8 * elements))
+			for i := 0; i < b.N; i++ {
+				par.AccumulatePerm(c, sums, xs, false)
+			}
+			perElem(b)
+		})
+	}
 }
 
 // BenchmarkPermCheckerLocal measures permutation fingerprinting per

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/params"
@@ -60,6 +62,8 @@ func main() {
 		err = runCommVolume(args)
 	case "modeled":
 		err = runModeled(args)
+	case "bench":
+		err = runBench(args)
 	case "all":
 		err = runAll()
 	default:
@@ -88,6 +92,8 @@ experiments:
   permoverhead  permutation checker local overhead (paper Sec. 7.2)
   commvolume    bottleneck communication volume audit (Sec. 1 claim)
   modeled       alpha-beta-model comm makespans up to p=4096 (Sec. 2 model)
+  bench         local accumulation engine: scalar vs batch vs parallel,
+                optionally emitting a JSON artifact (-out bench.json)
   all           everything above at default scale`)
 }
 
@@ -146,6 +152,8 @@ func runFig4(args []string) error {
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "timing repetitions")
 	pes := fs.String("pes", "", "comma-separated PE counts (default 1..512 doubling)")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "experiment seed")
+	fs.IntVar(&opt.Parallelism, "par", opt.Parallelism,
+		"per-PE "+parFlagHelp+"; default serial — the PEs are goroutines sharing this process (pipelines outside this harness default to GOMAXPROCS)")
 	deferred := fs.Bool("deferred", false, "resolve checkers in one batched round per pipeline (CheckDeferred)")
 	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
@@ -205,6 +213,8 @@ func runTable5(args []string) error {
 	opt := exp.DefaultOverheadOptions()
 	fs.IntVar(&opt.Elements, "elements", opt.Elements, "pairs to process (paper: 1e6)")
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	fs.IntVar(&opt.Parallelism, "par", opt.Parallelism,
+		parFlagHelp+"; default serial, the paper-faithful single-core measurement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,15 +222,65 @@ func runTable5(args []string) error {
 	return nil
 }
 
+// parFlagHelp gives every -par flag the same encoding — the exp
+// harnesses': n > 1 fans out to n goroutines, anything below 2 stays
+// serial. Timing experiments default to serial; pass e.g. -par $(nproc)
+// for all cores.
+const parFlagHelp = "accumulation goroutines: n > 1 = n workers, 0 or 1 = serial"
+
 func runPermOverhead(args []string) error {
 	fs := flag.NewFlagSet("permoverhead", flag.ExitOnError)
 	opt := exp.DefaultOverheadOptions()
 	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements to process (paper: 1e6)")
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	fs.IntVar(&opt.Parallelism, "par", opt.Parallelism,
+		parFlagHelp+"; default serial, the paper-faithful single-core measurement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Print(exp.RenderPermOverhead(exp.OverheadPerm(opt)))
+	return nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	opt := exp.DefaultLocalBenchOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements per loop")
+	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	sumCfg := fs.String("sum", opt.Sum.Name(), "sum checker configuration (Table 3 syntax)")
+	workers := fs.String("workers", "", "comma-separated parallel worker counts (default 2..GOMAXPROCS doubling)")
+	out := fs.String("out", "", "write rows as a JSON array to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := core.ParseSumConfig(*sumCfg)
+	if err != nil {
+		return err
+	}
+	opt.Sum = cfg
+	if *workers != "" {
+		parsed, err := parseInts(*workers)
+		if err != nil {
+			return err
+		}
+		opt.Workers = parsed
+	}
+	rows, err := exp.LocalBench(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderLocalBench(rows))
+	if *out != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(rows), *out)
+	}
 	return nil
 }
 
@@ -307,6 +367,10 @@ func runAll() error {
 	}
 	fmt.Println()
 	if err := runModeled(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runBench(nil); err != nil {
 		return err
 	}
 	fmt.Println()

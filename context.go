@@ -176,6 +176,7 @@ type Context struct {
 	mode CheckMode
 	pt   ops.Partitioner
 	seed uint64
+	par  core.ParallelAccumulator
 
 	pending   []pendingCheck
 	stats     []CheckStats
@@ -208,6 +209,7 @@ func NewContext(w *Worker, opts Options) (*Context, error) {
 		mode: opts.Mode,
 		pt:   ops.NewPartitioner(seed, w.Size()),
 		seed: seed,
+		par:  core.NewParallelAccumulator(opts.Parallelism),
 	}, nil
 }
 
@@ -488,7 +490,7 @@ func (d *Dataset) ReduceByKey(fn ReduceFn) *Dataset {
 		out, err = ops.ReduceByKey(c.w, c.pt, d.pairs, fn)
 		return len(out), err
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewSumAggState(label, c.opts.Sum, c.seed, d.pairs, out)}
+		return []core.CheckState{core.NewSumAggStatePar(label, c.opts.Sum, c.seed, c.par, d.pairs, out)}
 	})
 	return &Dataset{ctx: c, pairs: out}
 }
@@ -509,7 +511,7 @@ func (d *Dataset) GroupByKey() ([]Group, error) {
 		groups = groupPairs(red.After)
 		return len(groups), nil
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewRedistState(label, c.opts.Perm, c.seed, c.pt, c.w.Rank(), red.Before, red.After)}
+		return []core.CheckState{core.NewRedistStatePar(label, c.opts.Perm, c.seed, c.par, c.pt, c.w.Rank(), red.Before, red.After)}
 	})
 	if err != nil {
 		return nil, err
@@ -543,8 +545,8 @@ func (d *Dataset) Join(other *Dataset) ([]JoinRow, error) {
 		return len(rows), nil
 	}, func(label string) []core.CheckState {
 		return []core.CheckState{
-			core.NewRedistState(label+"/left", c.opts.Perm, c.seed, c.pt, c.w.Rank(), redL.Before, redL.After),
-			core.NewRedistState(label+"/right", c.opts.Perm, c.seed, c.pt, c.w.Rank(), redR.Before, redR.After),
+			core.NewRedistStatePar(label+"/left", c.opts.Perm, c.seed, c.par, c.pt, c.w.Rank(), redL.Before, redL.After),
+			core.NewRedistStatePar(label+"/right", c.opts.Perm, c.seed, c.par, c.pt, c.w.Rank(), redR.Before, redR.After),
 		}
 	})
 	if err != nil {
@@ -641,7 +643,7 @@ func (d *Dataset) AverageByKey() ([]Triple, error) {
 		out, err = ops.AverageByKey(c.w, c.pt, d.pairs)
 		return len(out), err
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewAvgAggState(label, c.opts.Sum, c.seed, d.pairs, core.AvgAssertionsFromTriples(out))}
+		return []core.CheckState{core.NewAvgAggStatePar(label, c.opts.Sum, c.seed, c.par, d.pairs, core.AvgAssertionsFromTriples(out))}
 	})
 	if err != nil {
 		return nil, err
@@ -659,7 +661,7 @@ func (s *Seq) Sort() *Seq {
 		out, err = ops.Sort(c.w, s.vals)
 		return len(out), err
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{s.vals}, out)}
+		return []core.CheckState{core.NewSortedStatePar(label, c.opts.Perm, c.seed, c.par, [][]uint64{s.vals}, out)}
 	})
 	return &Seq{ctx: c, vals: out}
 }
@@ -677,7 +679,7 @@ func (s *Seq) Merge(other *Seq) *Seq {
 		out, err = ops.Merge(c.w, s.vals, other.vals)
 		return len(out), err
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{s.vals, other.vals}, out)}
+		return []core.CheckState{core.NewSortedStatePar(label, c.opts.Perm, c.seed, c.par, [][]uint64{s.vals, other.vals}, out)}
 	})
 	return &Seq{ctx: c, vals: out}
 }
@@ -695,7 +697,7 @@ func (s *Seq) Union(other *Seq) *Seq {
 		out, err = ops.Union(c.w, s.vals, other.vals)
 		return len(out), err
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewPermState(label, c.opts.Perm, c.seed, [][]uint64{s.vals, other.vals}, out)}
+		return []core.CheckState{core.NewPermStatePar(label, c.opts.Perm, c.seed, c.par, [][]uint64{s.vals, other.vals}, out)}
 	})
 	return &Seq{ctx: c, vals: out}
 }
@@ -745,7 +747,7 @@ func (c *Context) AssertSum(input, output []Pair) error {
 	return c.runStage("AssertSum", len(input), func() (int, error) {
 		return len(output), nil
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewSumAggState(label, c.opts.Sum, c.seed, input, output)}
+		return []core.CheckState{core.NewSumAggStatePar(label, c.opts.Sum, c.seed, c.par, input, output)}
 	})
 }
 
@@ -756,7 +758,7 @@ func (c *Context) AssertSorted(input, output []uint64) error {
 	return c.runStage("AssertSorted", len(input), func() (int, error) {
 		return len(output), nil
 	}, func(label string) []core.CheckState {
-		return []core.CheckState{core.NewSortedState(label, c.opts.Perm, c.seed, [][]uint64{input}, output)}
+		return []core.CheckState{core.NewSortedStatePar(label, c.opts.Perm, c.seed, c.par, [][]uint64{input}, output)}
 	})
 }
 

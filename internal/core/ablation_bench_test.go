@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/data"
@@ -161,6 +162,55 @@ func BenchmarkAblationBucketTradeoff(b *testing.B) {
 			}
 			reportPerElem(b, ablationElements)
 			b.ReportMetric(float64(cfg.TableBits()), "table-bits")
+		})
+	}
+}
+
+// BenchmarkAblationBatchHash isolates what Hash64Batch buys over
+// per-element interface dispatch: the same hash values, computed
+// through a scalar Hash64 loop versus one batch call per block.
+func BenchmarkAblationBatchHash(b *testing.B) {
+	keys := workload.UniformU64s(ablationElements, 1<<62, 9)
+	dst := make([]uint64, ablationElements)
+	for _, fam := range []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab, hashing.FamilyTab64, hashing.FamilyMix} {
+		fam := fam
+		h := fam.New(7)
+		b.Run(fam.Name+"/scalar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, k := range keys {
+					dst[j] = h.Hash64(k)
+				}
+				sinkBench = dst[0]
+			}
+			reportPerElem(b, ablationElements)
+		})
+		b.Run(fam.Name+"/batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Hash64Batch(dst, keys)
+				sinkBench = dst[0]
+			}
+			reportPerElem(b, ablationElements)
+		})
+	}
+}
+
+// BenchmarkAblationParallelShards sweeps the ParallelAccumulator's
+// worker count on the sum checker hot loop. On a multi-core machine
+// the per-element time should fall near-linearly until the memory
+// system saturates; on one core it measures the sharding overhead.
+func BenchmarkAblationParallelShards(b *testing.B) {
+	cfg := SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC}
+	pairs := workload.UniformPairs(4*ablationElements, 1<<62, 1<<62, 1)
+	c := NewSumChecker(cfg, 7)
+	table := c.NewTable()
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			par := NewParallelAccumulator(w)
+			for i := 0; i < b.N; i++ {
+				par.AccumulateSum(c, table, pairs)
+			}
+			reportPerElem(b, 4*ablationElements)
 		})
 	}
 }

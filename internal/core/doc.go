@@ -34,4 +34,12 @@
 // Every distributed checker is SPMD: all PEs call it with their local
 // shares, shared randomness is drawn by PE 0 and broadcast, and the
 // returned verdict is identical on every PE.
+//
+// The checkers' O(n/p) local phase (Table 5) runs on a shared
+// accumulation engine: blocked batch hashing (hashing.Hasher's
+// Hash64Batch), iteration-major counter sweeps with a branch-free
+// deferred modulo, unrolled polynomial products, and an optional
+// ParallelAccumulator that shards the scan across goroutines with
+// residue-identical merges — per-PE fan-out never changes a checker
+// state.
 package core

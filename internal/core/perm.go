@@ -54,7 +54,9 @@ func (c PermConfig) Validate() error {
 
 // PermChecker computes truncated hash-sum fingerprints. Like
 // SumChecker, every PE builds an identical instance from the shared
-// seed; instances are not safe for concurrent use.
+// seed. After construction an instance is read-only: concurrent
+// AccumulateInto calls on one instance are safe as long as they target
+// disjoint sums vectors (the ParallelAccumulator contract).
 type PermChecker struct {
 	cfg     PermConfig
 	hashers []hashing.Hasher
@@ -86,13 +88,64 @@ func (c *PermChecker) Config() PermConfig { return c.cfg }
 // two, wraparound addition stays congruent modulo H.
 func (c *PermChecker) LocalSums(xs []uint64) []uint64 {
 	sums := make([]uint64, c.cfg.Iterations)
-	c.AccumulateInto(sums, xs, false)
+	c.LocalSumsInto(sums, xs)
 	return sums
 }
 
+// LocalSumsInto is LocalSums for callers that already hold a buffer:
+// sums must have length Iterations and is overwritten, not added to.
+func (c *PermChecker) LocalSumsInto(sums, xs []uint64) {
+	for i := range sums {
+		sums[i] = 0
+	}
+	c.AccumulateInto(sums, xs, false)
+}
+
 // AccumulateInto adds (or, with negate, subtracts) the truncated hash
-// values of xs into sums, one slot per iteration.
+// values of xs into sums, one slot per iteration. The sequence is
+// hashed in blocks through the family's Hash64Batch and summed in four
+// independent lanes; wraparound addition mod 2^64 is commutative, so
+// the sums are bit-identical to the scalar element-order loop. All
+// scratch lives on the stack — concurrent calls on the same checker
+// with disjoint sums are safe (the ParallelAccumulator contract).
 func (c *PermChecker) AccumulateInto(sums []uint64, xs []uint64, negate bool) {
+	mask := c.mask
+	var hs [accBlock]uint64
+	for it, h := range c.hashers {
+		var acc uint64
+		for start := 0; start < len(xs); start += accBlock {
+			n := len(xs) - start
+			if n > accBlock {
+				n = accBlock
+			}
+			hb := hs[:n]
+			h.Hash64Batch(hb, xs[start:start+n])
+			var a0, a1, a2, a3 uint64
+			for len(hb) >= 4 {
+				a0 += hb[0] & mask
+				a1 += hb[1] & mask
+				a2 += hb[2] & mask
+				a3 += hb[3] & mask
+				hb = hb[4:]
+			}
+			for _, h := range hb {
+				a0 += h & mask
+			}
+			acc += a0 + a1 + a2 + a3
+		}
+		if negate {
+			sums[it] -= acc
+		} else {
+			sums[it] += acc
+		}
+	}
+}
+
+// AccumulateIntoScalar is the scalar reference loop of AccumulateInto
+// (one interface call per element), kept so benchmarks and property
+// tests can compare the batched path against it; the sums are
+// bit-identical.
+func (c *PermChecker) AccumulateIntoScalar(sums []uint64, xs []uint64, negate bool) {
 	for it, h := range c.hashers {
 		var acc uint64
 		for _, x := range xs {
@@ -134,8 +187,13 @@ func CheckUnion(w *dist.Worker, cfg PermConfig, s1, s2, out []uint64) (bool, err
 // PermCheckLocalWork exposes the local fingerprinting step in isolation
 // for the Section 7.2 overhead measurements (no communication).
 func PermCheckLocalWork(c *PermChecker, input, output []uint64) []uint64 {
+	return PermCheckLocalWorkPar(c, Serial, input, output)
+}
+
+// PermCheckLocalWorkPar is PermCheckLocalWork sharded across par.
+func PermCheckLocalWorkPar(c *PermChecker, par ParallelAccumulator, input, output []uint64) []uint64 {
 	lambda := make([]uint64, c.cfg.Iterations)
-	c.AccumulateInto(lambda, input, false)
-	c.AccumulateInto(lambda, output, true)
+	par.AccumulatePerm(c, lambda, input, false)
+	par.AccumulatePerm(c, lambda, output, true)
 	return lambda
 }

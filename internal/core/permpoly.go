@@ -23,8 +23,17 @@ type PolyPermConfig struct {
 // field F_r with r = 2^61 - 1 (a Mersenne prime, for fast reduction).
 // Elements must lie in 0..r-1 — Lemma 5 requires the prime to exceed
 // the universe so that distinct elements stay distinct modulo r. The
-// failure bound is (n/r)^Iterations for n total elements.
+// failure bound is (n/r)^Iterations for n total elements. Local
+// products run serially; CheckPermutationPolyPar shards them.
 func CheckPermutationPoly(w *dist.Worker, cfg PolyPermConfig, input, output []uint64) (bool, error) {
+	return CheckPermutationPolyPar(w, cfg, Serial, input, output)
+}
+
+// CheckPermutationPolyPar is CheckPermutationPoly with the local
+// polynomial products sharded across par's goroutines — partial
+// products merge by field multiplication, so the verdict is identical
+// for every worker count.
+func CheckPermutationPolyPar(w *dist.Worker, cfg PolyPermConfig, par ParallelAccumulator, input, output []uint64) (bool, error) {
 	if cfg.Iterations < 1 {
 		return false, fmt.Errorf("core: poly perm checker: iterations must be >= 1")
 	}
@@ -60,15 +69,8 @@ func CheckPermutationPoly(w *dist.Worker, cfg PolyPermConfig, input, output []ui
 	prods := make([]uint64, 2*cfg.Iterations)
 	for it := 0; it < cfg.Iterations; it++ {
 		z := rng.Uint64n(r)
-		pIn, pOut := uint64(1), uint64(1)
-		for _, e := range input {
-			pIn = hashing.MulMod61(pIn, hashing.SubMod61(z, e))
-		}
-		for _, o := range output {
-			pOut = hashing.MulMod61(pOut, hashing.SubMod61(z, o))
-		}
-		prods[2*it] = pIn
-		prods[2*it+1] = pOut
+		prods[2*it] = par.PolyProd61(z, input)
+		prods[2*it+1] = par.PolyProd61(z, output)
 	}
 	red, err := w.Coll.AllReduce(prods, func(dst, src []uint64) {
 		for i := range dst {
@@ -86,12 +88,58 @@ func CheckPermutationPoly(w *dist.Worker, cfg PolyPermConfig, input, output []ui
 	return w.Coll.AllAgree(ok)
 }
 
+// PolyProd61 evaluates prod over xs of (z - x) in F_(2^61-1); all
+// inputs must be canonical residues (< 2^61-1). The serial
+// multiply-accumulate chain is split into four independent partial
+// products so consecutive MulMod61 latencies overlap; the field is
+// commutative and MulMod61 returns canonical residues, so any
+// association yields the same bits as the scalar left-fold.
+func PolyProd61(z uint64, xs []uint64) uint64 {
+	p0, p1, p2, p3 := uint64(1), uint64(1), uint64(1), uint64(1)
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		p0 = hashing.MulMod61(p0, hashing.SubMod61(z, xs[i]))
+		p1 = hashing.MulMod61(p1, hashing.SubMod61(z, xs[i+1]))
+		p2 = hashing.MulMod61(p2, hashing.SubMod61(z, xs[i+2]))
+		p3 = hashing.MulMod61(p3, hashing.SubMod61(z, xs[i+3]))
+	}
+	for ; i < len(xs); i++ {
+		p0 = hashing.MulMod61(p0, hashing.SubMod61(z, xs[i]))
+	}
+	return hashing.MulMod61(hashing.MulMod61(p0, p1), hashing.MulMod61(p2, p3))
+}
+
+// PolyProdGF evaluates prod over xs of (z xor x) in GF(2^64) with the
+// same four-lane unrolling as PolyProd61; carry-less multiplication is
+// exact and commutative, so the result matches the scalar left-fold.
+func PolyProdGF(z uint64, xs []uint64) uint64 {
+	p0, p1, p2, p3 := uint64(1), uint64(1), uint64(1), uint64(1)
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		p0 = hashing.GF64Mul(p0, z^xs[i])
+		p1 = hashing.GF64Mul(p1, z^xs[i+1])
+		p2 = hashing.GF64Mul(p2, z^xs[i+2])
+		p3 = hashing.GF64Mul(p3, z^xs[i+3])
+	}
+	for ; i < len(xs); i++ {
+		p0 = hashing.GF64Mul(p0, z^xs[i])
+	}
+	return hashing.GF64Mul(hashing.GF64Mul(p0, p1), hashing.GF64Mul(p2, p3))
+}
+
 // CheckPermutationGF checks the permutation property in GF(2^64) with
 // carry-less multiplication (the Section 5 optimisation referencing
 // Galois-field SIMD arithmetic): q(z) = prod(z xor e_i) over the full
 // 64-bit universe, no universe restriction. Failure bound about
-// (n/2^64)^Iterations.
+// (n/2^64)^Iterations. Local products run serially;
+// CheckPermutationGFPar shards them.
 func CheckPermutationGF(w *dist.Worker, iterations int, input, output []uint64) (bool, error) {
+	return CheckPermutationGFPar(w, iterations, Serial, input, output)
+}
+
+// CheckPermutationGFPar is CheckPermutationGF with the local products
+// sharded across par's goroutines; see CheckPermutationPolyPar.
+func CheckPermutationGFPar(w *dist.Worker, iterations int, par ParallelAccumulator, input, output []uint64) (bool, error) {
 	if iterations < 1 {
 		return false, fmt.Errorf("core: GF perm checker: iterations must be >= 1")
 	}
@@ -103,15 +151,8 @@ func CheckPermutationGF(w *dist.Worker, iterations int, input, output []uint64) 
 	prods := make([]uint64, 2*iterations)
 	for it := 0; it < iterations; it++ {
 		z := rng.Uint64()
-		pIn, pOut := uint64(1), uint64(1)
-		for _, e := range input {
-			pIn = hashing.GF64Mul(pIn, z^e)
-		}
-		for _, o := range output {
-			pOut = hashing.GF64Mul(pOut, z^o)
-		}
-		prods[2*it] = pIn
-		prods[2*it+1] = pOut
+		prods[2*it] = par.PolyProdGF(z, input)
+		prods[2*it+1] = par.PolyProdGF(z, output)
 	}
 	red, err := w.Coll.AllReduce(prods, func(dst, src []uint64) {
 		for i := range dst {

@@ -133,29 +133,44 @@ type SumAggState struct {
 // NewSumAggState accumulates the sum aggregation checker's local phase:
 // input and output are this PE's shares. No communication.
 func NewSumAggState(stage string, cfg SumConfig, seed uint64, input, output []data.Pair) *SumAggState {
+	return NewSumAggStatePar(stage, cfg, seed, Serial, input, output)
+}
+
+// NewSumAggStatePar is NewSumAggState with the local accumulation
+// sharded across par's goroutines; the state is identical for every
+// worker count.
+func NewSumAggStatePar(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, input, output []data.Pair) *SumAggState {
 	c := NewSumChecker(cfg, seed)
 	tv := c.NewTable()
-	c.Accumulate(tv, input)
+	par.AccumulateSum(c, tv, input)
 	to := c.NewTable()
-	c.Accumulate(to, output)
+	par.AccumulateSum(c, to, output)
 	return newSumDiffState(stage, c, tv, to)
 }
 
 // NewCountAggState is NewSumAggState for count aggregation: every input
 // pair counts 1 regardless of its value.
 func NewCountAggState(stage string, cfg SumConfig, seed uint64, input, output []data.Pair) *SumAggState {
+	return NewCountAggStatePar(stage, cfg, seed, Serial, input, output)
+}
+
+// NewCountAggStatePar is NewCountAggState sharded across par.
+func NewCountAggStatePar(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, input, output []data.Pair) *SumAggState {
 	c := NewSumChecker(cfg, seed)
 	tv := c.NewTable()
-	c.AccumulateCount(tv, input)
+	par.AccumulateCount(c, tv, input)
 	to := c.NewTable()
-	c.Accumulate(to, output)
+	par.AccumulateSum(c, to, output)
 	return newSumDiffState(stage, c, tv, to)
 }
 
 func newSumDiffState(stage string, c *SumChecker, tv, to []uint64) *SumAggState {
 	c.Normalize(tv)
 	c.Normalize(to)
-	return &SumAggState{stage: stage, c: c, diff: c.Diff(tv, to)}
+	// The difference overwrites tv in place — both scratch tables are
+	// dead after this, so the state allocates nothing further.
+	c.DiffInto(tv, tv, to)
+	return &SumAggState{stage: stage, c: c, diff: tv}
 }
 
 func (s *SumAggState) Stage() string                  { return s.stage }
@@ -183,12 +198,19 @@ type PermState struct {
 // output must be a permutation of the concatenation of inputs. No
 // communication.
 func NewPermState(stage string, cfg PermConfig, seed uint64, inputs [][]uint64, output []uint64) *PermState {
+	return NewPermStatePar(stage, cfg, seed, Serial, inputs, output)
+}
+
+// NewPermStatePar is NewPermState with the fingerprinting sharded
+// across par's goroutines; the fingerprints are bit-identical for
+// every worker count.
+func NewPermStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, inputs [][]uint64, output []uint64) *PermState {
 	c := NewPermChecker(cfg, seed)
 	lambda := make([]uint64, cfg.Iterations)
 	for _, in := range inputs {
-		c.AccumulateInto(lambda, in, false)
+		par.AccumulatePerm(c, lambda, in, false)
 	}
-	c.AccumulateInto(lambda, output, true)
+	par.AccumulatePerm(c, lambda, output, true)
 	return &PermState{stage: stage, c: c, lambda: lambda, localOK: true}
 }
 
@@ -197,6 +219,12 @@ func NewPermState(stage string, cfg PermConfig, seed uint64, inputs [][]uint64, 
 // pairs plus the deterministic placement scan against loc. rank is this
 // PE's rank. No communication.
 func NewRedistState(stage string, cfg PermConfig, seed uint64, loc KeyLocator, rank int, before, after []data.Pair) *PermState {
+	return NewRedistStatePar(stage, cfg, seed, Serial, loc, rank, before, after)
+}
+
+// NewRedistStatePar is NewRedistState with the fingerprinting sharded
+// across par.
+func NewRedistStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, loc KeyLocator, rank int, before, after []data.Pair) *PermState {
 	foldSeed := hashing.SubSeeds(seed^0x4ed154ed154ed151, 2)
 	fold := func(ps []data.Pair) []uint64 {
 		out := make([]uint64, len(ps))
@@ -205,7 +233,7 @@ func NewRedistState(stage string, cfg PermConfig, seed uint64, loc KeyLocator, r
 		}
 		return out
 	}
-	st := NewPermState(stage, cfg, seed, [][]uint64{fold(before)}, fold(after))
+	st := NewPermStatePar(stage, cfg, seed, par, [][]uint64{fold(before)}, fold(after))
 	for _, pr := range after {
 		if loc.PE(pr.Key) != rank {
 			st.localOK = false
@@ -263,7 +291,13 @@ type SortedState struct {
 // must be a sorted permutation of the concatenation of inputs (one
 // input for Sort, two for Merge). No communication.
 func NewSortedState(stage string, cfg PermConfig, seed uint64, inputs [][]uint64, output []uint64) *SortedState {
-	perm := NewPermState(stage, cfg, seed, inputs, output)
+	return NewSortedStatePar(stage, cfg, seed, Serial, inputs, output)
+}
+
+// NewSortedStatePar is NewSortedState with the fingerprinting sharded
+// across par.
+func NewSortedStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, inputs [][]uint64, output []uint64) *SortedState {
+	perm := NewPermStatePar(stage, cfg, seed, par, inputs, output)
 	words := make([]uint64, len(perm.lambda)+sortWords)
 	copy(words, perm.lambda)
 	b := words[len(perm.lambda):]
@@ -539,6 +573,12 @@ type AvgAggState struct {
 // NewAvgAggState accumulates the average checker's local phase. No
 // communication.
 func NewAvgAggState(stage string, cfg SumConfig, seed uint64, input []data.Pair, asserted []AvgAssertion) *AvgAggState {
+	return NewAvgAggStatePar(stage, cfg, seed, Serial, input, asserted)
+}
+
+// NewAvgAggStatePar is NewAvgAggState with both table lanes sharded
+// across par.
+func NewAvgAggStatePar(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, input []data.Pair, asserted []AvgAssertion) *AvgAggState {
 	c := NewSumChecker(cfg, seed)
 	// Certificate sanity is deterministic: a correct average in lowest
 	// terms must divide the certified count. An indivisible certificate
@@ -559,21 +599,24 @@ func NewAvgAggState(stage string, cfg SumConfig, seed uint64, input []data.Pair,
 
 	// Lane 1: reconstructed sums vs input values.
 	tvSum := c.NewTable()
-	c.Accumulate(tvSum, input)
+	par.AccumulateSum(c, tvSum, input)
 	toSum := c.NewTable()
-	c.Accumulate(toSum, sums)
+	par.AccumulateSum(c, toSum, sums)
 
 	// Lane 2: certified counts vs input multiplicities.
 	tvCnt := c.NewTable()
-	c.AccumulateCount(tvCnt, input)
+	par.AccumulateCount(c, tvCnt, input)
 	toCnt := c.NewTable()
-	c.Accumulate(toCnt, counts)
+	par.AccumulateSum(c, toCnt, counts)
 
 	c.Normalize(tvSum)
 	c.Normalize(toSum)
 	c.Normalize(tvCnt)
 	c.Normalize(toCnt)
-	diff := append(c.Diff(tvSum, toSum), c.Diff(tvCnt, toCnt)...)
+	// Each lane's difference overwrites its input-side scratch table.
+	c.DiffInto(tvSum, tvSum, toSum)
+	c.DiffInto(tvCnt, tvCnt, toCnt)
+	diff := append(tvSum, tvCnt...)
 	return &AvgAggState{stage: stage, c: c, diff: diff, localOK: localOK}
 }
 

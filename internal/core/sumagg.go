@@ -18,9 +18,14 @@ import (
 // power-of-two d), and counters are plain 64-bit adds with the expensive
 // modulo performed only when an addition overflows.
 //
-// A SumChecker is not safe for concurrent use; every PE builds its own
-// from the shared seed, which yields identical hash functions and moduli
-// everywhere.
+// Every PE builds its own SumChecker from the shared seed, which yields
+// identical hash functions and moduli everywhere. After construction
+// the checker itself is read-only on the accumulation paths: concurrent
+// Accumulate/AccumulateCount calls on one instance are safe as long as
+// they target disjoint tables (the ParallelAccumulator contract; all
+// their scratch lives on the stack). The prepare/bucketOf helpers used
+// by AccumulateSigned and AccumulateScalar mutate the shared hbuf
+// scratch and are NOT safe to call concurrently.
 type SumChecker struct {
 	cfg     SumConfig
 	mods    []uint64 // modulus r per iteration
@@ -85,14 +90,19 @@ func (c *SumChecker) NewTable() []uint64 { return make([]uint64, c.TableWords())
 
 // add accumulates v into counter idx of iteration it, deferring the
 // modulo to overflow events: the counter always stays congruent to the
-// true partial sum modulo r while fitting in a word.
+// true partial sum modulo r. The fold is division-free — a wrap lost
+// exactly 2^64 ≡ pow64 (mod r), so adding pow64 restores congruence;
+// if that addition wraps again the same identity folds the second loss
+// (and then cannot wrap a third time, since the twice-wrapped value is
+// below pow64 < r <= 2^63).
 func (c *SumChecker) add(table []uint64, idx, it int, v uint64) {
 	sum, carry := bits.Add64(table[idx], v, 0)
 	if carry != 0 {
-		// The wrapped value lost 2^64; fold it back in mod r. The
-		// result is < 2r <= 2^63, so subsequent adds stay safe.
-		r := c.mods[it]
-		sum = sum%r + c.pow64[it]
+		p64 := c.pow64[it]
+		sum += p64
+		if sum < p64 {
+			sum += p64
+		}
 	}
 	table[idx] = sum
 }
@@ -114,63 +124,187 @@ func (c *SumChecker) bucketOf(key uint64, it int) int {
 	return int(c.hashers[it].Hash64(key) % uint64(c.cfg.Buckets))
 }
 
-// Accumulate folds pairs into the table (the cRed inner loop of
-// Algorithm 1).
-func (c *SumChecker) Accumulate(table []uint64, pairs []data.Pair) {
-	if c.pow2 && len(c.hashers) == 1 {
-		// Fast path for every practical configuration (Section 7.1:
-		// "evaluating a single hash function suffices in all
-		// practically relevant configurations"): one hash evaluation
-		// per element, bucket bits peeled off iteration by iteration,
-		// modulo deferred to overflow events.
-		c.accumulateSingleHash(table, pairs)
-		return
-	}
-	d := c.cfg.Buckets
-	for i := range pairs {
-		key, v := pairs[i].Key, pairs[i].Value
-		c.prepare(key)
-		for it := 0; it < c.cfg.Iterations; it++ {
-			c.add(table, it*d+c.bucketOf(key, it), it, v)
-		}
-	}
-}
+// accBlock is the number of elements gathered per batch-hash block:
+// large enough to amortise the batch call and keep one iteration's
+// counter row hot across the block, small enough that the three
+// per-block scratch arrays (keys, hashes, values — 6 KiB total) live on
+// the stack and fit L1 alongside the table.
+const accBlock = 256
 
-func (c *SumChecker) accumulateSingleHash(table []uint64, pairs []data.Pair) {
-	d := c.cfg.Buckets
-	its := c.cfg.Iterations
-	width := c.split.Width()
-	mask := uint64(d - 1)
-	hasher := c.hashers[0]
-	mods, pow64 := c.mods, c.pow64
-	for i := range pairs {
-		key, v := pairs[i].Key, pairs[i].Value
-		h := hasher.Hash64(key)
-		base := 0
-		for it := 0; it < its; it++ {
-			idx := base + int(h&mask)
-			h >>= width
-			base += d
-			sum, carry := bits.Add64(table[idx], v, 0)
-			if carry != 0 {
-				r := mods[it]
-				sum = sum%r + pow64[it]
-			}
-			table[idx] = sum
-		}
-	}
+// Accumulate folds pairs into the table (the cRed inner loop of
+// Algorithm 1). All scratch lives on the stack, so concurrent calls on
+// the same checker with disjoint tables are safe — the
+// ParallelAccumulator contract.
+func (c *SumChecker) Accumulate(table []uint64, pairs []data.Pair) {
+	c.accumulateBlocked(table, pairs, false)
 }
 
 // AccumulateCount folds pairs into the table counting 1 per pair,
 // regardless of values (count aggregation: "sum aggregation where the
-// value of every element is mapped to 1", Section 4).
+// value of every element is mapped to 1", Section 4). It takes the same
+// blocked batch-hash path as Accumulate — including the pow2
+// single-hash fast path — and is likewise safe on disjoint tables.
 func (c *SumChecker) AccumulateCount(table []uint64, pairs []data.Pair) {
+	c.accumulateBlocked(table, pairs, true)
+}
+
+// accumulateBlocked is the shared hot loop: keys (and values) are
+// gathered into fixed-size stack blocks, hashed through the family's
+// Hash64Batch, and swept iteration-major — one iteration's d-counter
+// row and overflow correction 2^64 mod r stay cache/register resident
+// while a whole block streams through, and each hash function is
+// evaluated exactly once per block (the Section 7.1 bit-parallel
+// optimisation: for pow2 d, hash j covers iterations j*perHash ..
+// (j+1)*perHash-1 via bit groups).
+//
+// The sweep order is immaterial to the result: the elements hitting
+// any one counter arrive in the same index order as in the
+// element-major scalar reference, so per-counter add sequences — and
+// therefore the residues — agree (tables are bit-identical to
+// AccumulateScalar's after Normalize; the raw words differ only in
+// when the two folds canonicalise).
+func (c *SumChecker) accumulateBlocked(table []uint64, pairs []data.Pair, count bool) {
 	d := c.cfg.Buckets
+	its := c.cfg.Iterations
+	pow64 := c.pow64
+	var keys, hs, vals [accBlock]uint64
+	if count {
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
+	var width, perHash int
+	if c.pow2 {
+		width = c.split.Width()
+		perHash = c.split.PerHash()
+	}
+	for start := 0; start < len(pairs); start += accBlock {
+		n := len(pairs) - start
+		if n > accBlock {
+			n = accBlock
+		}
+		blk := pairs[start : start+n]
+		for i := range blk {
+			keys[i] = blk[i].Key
+		}
+		if !count {
+			for i := range blk {
+				vals[i] = blk[i].Value
+			}
+		}
+		hb, vb := hs[:n], vals[:n]
+		if c.pow2 {
+			for it := 0; it < its; it++ {
+				if it%perHash == 0 {
+					c.hashers[it/perHash].Hash64Batch(hb, keys[:n])
+				}
+				shift := uint((it % perHash) * width)
+				sumRowUpdate(table[it*d:(it+1)*d], hb, vb, shift, pow64[it])
+			}
+		} else {
+			// General d: one independent hash per iteration,
+			// bucket = h mod d.
+			for it := 0; it < its; it++ {
+				c.hashers[it].Hash64Batch(hb, keys[:n])
+				sumRowUpdateMod(table[it*d:(it+1)*d], hb, vb, pow64[it])
+			}
+		}
+	}
+}
+
+// sumRowUpdate streams one block of hashed elements through one
+// iteration's counter row (pow2 bucket count: bucket bits at shift).
+// A standalone leaf so the prover eliminates every bounds check —
+// masking with len(row)-1 is exactly the bucket mask d-1.
+//
+// The fold is branch-free: a wrapped add lost exactly 2^64 ≡ p64
+// (mod r), folded back via the 0/-1 carry masks — as a branch the
+// random carry (every ~4 adds for large values) would mispredict. A
+// second wrap is folded the same way and cannot recur (the
+// twice-wrapped value is below p64 < r <= 2^63).
+func sumRowUpdate(row []uint64, hb, vb []uint64, shift uint, p64 uint64) {
+	if len(row) == 0 {
+		return // lets the prover see m below cannot wrap
+	}
+	m := uint64(len(row) - 1)
+	vb = vb[:len(hb)]
+	for i, h := range hb {
+		idx := (h >> shift) & m
+		sum, c1 := bits.Add64(row[idx], vb[i], 0)
+		sum, c2 := bits.Add64(sum, p64&-c1, 0)
+		row[idx] = sum + p64&-c2
+	}
+}
+
+// sumRowUpdateMod is sumRowUpdate for general (non-pow2) bucket
+// counts: bucket = h mod d, with d recovered from len(row) so the
+// prover sees idx < len(row).
+func sumRowUpdateMod(row []uint64, hb, vb []uint64, p64 uint64) {
+	if len(row) == 0 {
+		return
+	}
+	d := uint64(len(row))
+	vb = vb[:len(hb)]
+	for i, h := range hb {
+		idx := h % d
+		sum, c1 := bits.Add64(row[idx], vb[i], 0)
+		sum, c2 := bits.Add64(sum, p64&-c1, 0)
+		row[idx] = sum + p64&-c2
+	}
+}
+
+// AccumulateScalar is the element-major scalar reference loop — the
+// pre-batch implementation, division fold and all: one interface call
+// per hash evaluation, counters updated element by element. Its tables
+// are congruent entry-wise to Accumulate/AccumulateCount and
+// bit-identical after Normalize (same hash values, same bucket
+// assignment, folds differ only in when they canonicalise). It exists
+// so ablation benchmarks and property tests can compare the batched
+// hot path against the seed behavior in the same binary.
+func (c *SumChecker) AccumulateScalar(table []uint64, pairs []data.Pair, count bool) {
+	d := c.cfg.Buckets
+	// The seed's deferred modulo: fold the lost 2^64 back with a real
+	// division. The hot path replaced this with the branch-free
+	// two-step add fold; the reference keeps the original so the bench
+	// rows measure the full distance travelled.
+	addRef := func(idx, it int, v uint64) {
+		sum, carry := bits.Add64(table[idx], v, 0)
+		if carry != 0 {
+			r := c.mods[it]
+			sum = sum%r + c.pow64[it]
+		}
+		table[idx] = sum
+	}
+	if c.pow2 && len(c.hashers) == 1 {
+		// The historical Section 7.1 fast path: one hash evaluation per
+		// element, bucket bits peeled off iteration by iteration.
+		its := c.cfg.Iterations
+		width := c.split.Width()
+		mask := uint64(d - 1)
+		hasher := c.hashers[0]
+		for i := range pairs {
+			v := uint64(1)
+			if !count {
+				v = pairs[i].Value
+			}
+			h := hasher.Hash64(pairs[i].Key)
+			base := 0
+			for it := 0; it < its; it++ {
+				addRef(base+int(h&mask), it, v)
+				h >>= width
+				base += d
+			}
+		}
+		return
+	}
 	for i := range pairs {
-		key := pairs[i].Key
+		key, v := pairs[i].Key, uint64(1)
+		if !count {
+			v = pairs[i].Value
+		}
 		c.prepare(key)
 		for it := 0; it < c.cfg.Iterations; it++ {
-			c.add(table, it*d+c.bucketOf(key, it), it, 1)
+			addRef(it*d+c.bucketOf(key, it), it, v)
 		}
 	}
 }
@@ -209,8 +343,17 @@ func (c *SumChecker) Normalize(table []uint64) {
 
 // Diff returns (a - b) mod r entry-wise; both tables must be normalized.
 func (c *SumChecker) Diff(a, b []uint64) []uint64 {
-	d := c.cfg.Buckets
 	out := make([]uint64, len(a))
+	c.DiffInto(out, a, b)
+	return out
+}
+
+// DiffInto computes (a - b) mod r entry-wise into out, which must have
+// len(a); both tables must be normalized. out may alias a or b, so
+// callers that are done with a table can reuse it as the destination
+// and stay allocation-free.
+func (c *SumChecker) DiffInto(out, a, b []uint64) {
+	d := c.cfg.Buckets
 	for it := 0; it < c.cfg.Iterations; it++ {
 		r := c.mods[it]
 		for i := it * d; i < (it+1)*d; i++ {
@@ -221,7 +364,6 @@ func (c *SumChecker) Diff(a, b []uint64) []uint64 {
 			}
 		}
 	}
-	return out
 }
 
 // ReduceOp returns the vector addition mod r (per iteration block) used
@@ -285,7 +427,12 @@ func CheckCountAgg(w *dist.Worker, cfg SumConfig, input, output []data.Pair) (bo
 // the overhead measurements of Table 5: it accumulates pairs into a
 // fresh table and returns it (no communication).
 func SumCheckLocalWork(c *SumChecker, pairs []data.Pair) []uint64 {
+	return SumCheckLocalWorkPar(c, Serial, pairs)
+}
+
+// SumCheckLocalWorkPar is SumCheckLocalWork sharded across par.
+func SumCheckLocalWorkPar(c *SumChecker, par ParallelAccumulator, pairs []data.Pair) []uint64 {
 	t := c.NewTable()
-	c.Accumulate(t, pairs)
+	par.AccumulateSum(c, t, pairs)
 	return t
 }

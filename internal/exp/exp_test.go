@@ -177,7 +177,9 @@ func TestWeakScalingSmall(t *testing.T) {
 }
 
 func TestOverheadSumSmall(t *testing.T) {
-	opt := OverheadOptions{Elements: 20000, Repeats: 2, Seed: 5}
+	// Parallelism 1: the Table 5 claim compares single-core checker
+	// work against the single-core reduce reference.
+	opt := OverheadOptions{Elements: 20000, Repeats: 2, Seed: 5, Parallelism: 1}
 	rows := OverheadSum(opt)
 	if len(rows) != len(core.ScalingConfigs())+1 {
 		t.Fatalf("got %d rows", len(rows))
@@ -207,7 +209,7 @@ func TestOverheadSumSmall(t *testing.T) {
 }
 
 func TestOverheadPermSmall(t *testing.T) {
-	opt := OverheadOptions{Elements: 20000, Repeats: 2, Seed: 6}
+	opt := OverheadOptions{Elements: 20000, Repeats: 2, Seed: 6, Parallelism: 1}
 	rows := OverheadPerm(opt)
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows", len(rows))

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/workload"
+)
+
+// LocalBenchOptions configures the serial-vs-batch-vs-parallel
+// measurement of the checker hot loops (the BENCH trajectory): the sum
+// checker's condensed reduction, the permutation fingerprint, and the
+// Mersenne-prime polynomial product.
+type LocalBenchOptions struct {
+	Elements int
+	Repeats  int
+	Seed     uint64
+	// Sum is the sum checker shape; defaults to the paper's default
+	// scaling configuration 6×32 CRC m9.
+	Sum core.SumConfig
+	// Perm is the permutation checker shape; defaults to Tab, LogH 32,
+	// one iteration (the Section 7.2 measurement point).
+	Perm core.PermConfig
+	// Workers are the parallel fan-outs to sweep; defaults to
+	// 2, 4, ..., GOMAXPROCS (doubling).
+	Workers []int
+}
+
+// DefaultLocalBenchOptions returns laptop-scale defaults.
+func DefaultLocalBenchOptions() LocalBenchOptions {
+	return LocalBenchOptions{
+		Elements: 1_000_000,
+		Repeats:  5,
+		Seed:     0xbe9c4,
+		Sum:      core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
+		Perm:     core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 1},
+	}
+}
+
+// LocalBenchRow is one measured variant of one hot loop. Speedup is
+// relative to the same loop's scalar reference row.
+type LocalBenchRow struct {
+	Benchmark string  `json:"benchmark"` // "sum", "perm", "poly61"
+	Variant   string  `json:"variant"`   // "scalar", "batch", "parallel"
+	Config    string  `json:"config"`
+	Workers   int     `json:"workers"`
+	Elements  int     `json:"elements"`
+	NsPerElem float64 `json:"ns_per_elem"`
+	Speedup   float64 `json:"speedup_vs_scalar"`
+}
+
+// LocalBench measures the checker hot loops in three forms each: the
+// scalar reference loop (the pre-batch implementation, kept in core for
+// exactly this comparison), the blocked batch-hash loop, and the
+// ParallelAccumulator at each requested worker count. All variants
+// compute identical checker states — only the wall time differs — so
+// the rows quantify precisely what batching and sharding buy.
+func LocalBench(opt LocalBenchOptions) ([]LocalBenchRow, error) {
+	d := DefaultLocalBenchOptions()
+	if opt.Elements <= 0 {
+		opt.Elements = d.Elements
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = d.Repeats
+	}
+	// Seed is not defaulted here: 0 is a legal seed, and the cmd flag
+	// already defaults to DefaultLocalBenchOptions().Seed.
+	if opt.Sum.Iterations == 0 {
+		opt.Sum = d.Sum
+	}
+	if opt.Perm.Iterations == 0 {
+		opt.Perm = d.Perm
+	}
+	if len(opt.Workers) == 0 {
+		for w := 2; w <= runtime.GOMAXPROCS(0); w *= 2 {
+			opt.Workers = append(opt.Workers, w)
+		}
+		if len(opt.Workers) == 0 {
+			// Single-core machine: still exercise the sharded path once.
+			opt.Workers = []int{2}
+		}
+	}
+	if err := opt.Sum.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Perm.Validate(); err != nil {
+		return nil, err
+	}
+
+	var rows []LocalBenchRow
+	perElem := func(ns int64) float64 { return float64(ns) / float64(opt.Elements) }
+	add := func(bench, variant, config string, workers int, nsPerElem float64) {
+		rows = append(rows, LocalBenchRow{
+			Benchmark: bench, Variant: variant, Config: config,
+			Workers: workers, Elements: opt.Elements, NsPerElem: nsPerElem,
+		})
+	}
+
+	// Sum checker accumulation (the Table 5 loop).
+	pairs := workload.UniformPairs(opt.Elements, 1<<62, 1<<62, opt.Seed)
+	sc := core.NewSumChecker(opt.Sum, opt.Seed)
+	table := sc.NewTable()
+	add("sum", "scalar", opt.Sum.Name(), 1, perElem(minDuration(opt.Repeats, func() {
+		sc.AccumulateScalar(table, pairs, false)
+		sinkU64 = table[0]
+	}).Nanoseconds()))
+	add("sum", "batch", opt.Sum.Name(), 1, perElem(minDuration(opt.Repeats, func() {
+		sc.Accumulate(table, pairs)
+		sinkU64 = table[0]
+	}).Nanoseconds()))
+	for _, w := range opt.Workers {
+		par := core.NewParallelAccumulator(w)
+		add("sum", "parallel", opt.Sum.Name(), w, perElem(minDuration(opt.Repeats, func() {
+			par.AccumulateSum(sc, table, pairs)
+			sinkU64 = table[0]
+		}).Nanoseconds()))
+	}
+
+	// Permutation fingerprint (the Section 7.2 loop).
+	xs := workload.UniformU64s(opt.Elements, 1e8, opt.Seed+1)
+	pc := core.NewPermChecker(opt.Perm, opt.Seed)
+	sums := make([]uint64, opt.Perm.Iterations)
+	add("perm", "scalar", opt.Perm.Name(), 1, perElem(minDuration(opt.Repeats, func() {
+		pc.AccumulateIntoScalar(sums, xs, false)
+		sinkU64 = sums[0]
+	}).Nanoseconds()))
+	add("perm", "batch", opt.Perm.Name(), 1, perElem(minDuration(opt.Repeats, func() {
+		pc.AccumulateInto(sums, xs, false)
+		sinkU64 = sums[0]
+	}).Nanoseconds()))
+	for _, w := range opt.Workers {
+		par := core.NewParallelAccumulator(w)
+		add("perm", "parallel", opt.Perm.Name(), w, perElem(minDuration(opt.Repeats, func() {
+			par.AccumulatePerm(pc, sums, xs, false)
+			sinkU64 = sums[0]
+		}).Nanoseconds()))
+	}
+
+	// Mersenne-prime polynomial product (Lemma 5 local work). The
+	// scalar row is the pre-unroll serial left-fold.
+	zs := make([]uint64, len(xs))
+	for i, x := range xs {
+		zs[i] = x % hashing.Mersenne61
+	}
+	z := hashing.Mix64(opt.Seed) % hashing.Mersenne61
+	add("poly61", "scalar", "Mersenne61", 1, perElem(minDuration(opt.Repeats, func() {
+		prod := uint64(1)
+		for _, e := range zs {
+			prod = hashing.MulMod61(prod, hashing.SubMod61(z, e))
+		}
+		sinkU64 = prod
+	}).Nanoseconds()))
+	add("poly61", "batch", "Mersenne61", 1, perElem(minDuration(opt.Repeats, func() {
+		sinkU64 = core.PolyProd61(z, zs)
+	}).Nanoseconds()))
+	for _, w := range opt.Workers {
+		par := core.NewParallelAccumulator(w)
+		add("poly61", "parallel", "Mersenne61", w, perElem(minDuration(opt.Repeats, func() {
+			sinkU64 = par.PolyProd61(z, zs)
+		}).Nanoseconds()))
+	}
+
+	// Fill in per-benchmark speedups relative to the scalar rows.
+	scalarNs := make(map[string]float64)
+	for _, r := range rows {
+		if r.Variant == "scalar" {
+			scalarNs[r.Benchmark] = r.NsPerElem
+		}
+	}
+	for i := range rows {
+		if base := scalarNs[rows[i].Benchmark]; base > 0 {
+			rows[i].Speedup = base / rows[i].NsPerElem
+		}
+	}
+	return rows, nil
+}
+
+// sanityCheckLocalBench guards the benchmark's central claim in tests:
+// every variant computes the same checker state.
+func sanityCheckLocalBench(opt LocalBenchOptions) error {
+	pairs := workload.UniformPairs(5000, 1<<62, 1<<62, opt.Seed)
+	sc := core.NewSumChecker(opt.Sum, opt.Seed)
+	ref, got := sc.NewTable(), sc.NewTable()
+	sc.AccumulateScalar(ref, pairs, false)
+	sc.Accumulate(got, pairs)
+	sc.Normalize(ref)
+	sc.Normalize(got)
+	for i := range ref {
+		if ref[i] != got[i] {
+			return fmt.Errorf("exp: local bench: batch table diverges from scalar at %d", i)
+		}
+	}
+	return nil
+}

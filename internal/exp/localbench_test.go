@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLocalBenchSmall runs the serial-vs-batch-vs-parallel measurement
+// at toy scale: every expected row must be present with a positive
+// timing, scalar rows anchor speedup at 1.0, and the variants must
+// agree on the checker state they compute.
+func TestLocalBenchSmall(t *testing.T) {
+	opt := DefaultLocalBenchOptions()
+	opt.Elements = 20000
+	opt.Repeats = 1
+	opt.Workers = []int{2, 3}
+	if err := sanityCheckLocalBench(opt); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := LocalBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 loops × (scalar + batch + 2 parallel fan-outs).
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.NsPerElem <= 0 {
+			t.Fatalf("%s/%s: non-positive timing %v", r.Benchmark, r.Variant, r.NsPerElem)
+		}
+		if r.Variant == "scalar" && r.Speedup != 1.0 {
+			t.Fatalf("%s scalar speedup = %v, want 1.0", r.Benchmark, r.Speedup)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("%s/%s: speedup not filled in", r.Benchmark, r.Variant)
+		}
+		seen[r.Benchmark+"/"+r.Variant] = true
+	}
+	for _, want := range []string{"sum/scalar", "sum/batch", "sum/parallel",
+		"perm/scalar", "perm/batch", "perm/parallel",
+		"poly61/scalar", "poly61/batch", "poly61/parallel"} {
+		if !seen[want] {
+			t.Fatalf("missing row %s", want)
+		}
+	}
+	out := RenderLocalBench(rows)
+	if !strings.Contains(out, "sum") || !strings.Contains(out, "speedup") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+}

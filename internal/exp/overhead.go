@@ -25,11 +25,28 @@ type OverheadOptions struct {
 	Repeats  int
 	Seed     uint64
 	Configs  []core.SumConfig // defaults to core.ScalingConfigs()
+	// Parallelism shards the local accumulation across n > 1
+	// goroutines; values below 2 — including the zero value — keep the
+	// paper-faithful serial per-core measurement. The exp harnesses
+	// are timing instruments, so unlike repro.Options.Parallelism
+	// there is no "all cores" sentinel: callers wanting that pass
+	// runtime.GOMAXPROCS(0) explicitly.
+	Parallelism int
 }
 
-// DefaultOverheadOptions matches the paper's element count.
+// serialFloor clamps an exp-layer Parallelism value to the library's
+// encoding, where serial is 1 (0 would mean GOMAXPROCS there).
+func serialFloor(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// DefaultOverheadOptions matches the paper's element count, measured
+// serially as the paper does.
 func DefaultOverheadOptions() OverheadOptions {
-	return OverheadOptions{Elements: 1_000_000, Repeats: 5, Seed: 0x0ead5}
+	return OverheadOptions{Elements: 1_000_000, Repeats: 5, Seed: 0x0ead5, Parallelism: 1}
 }
 
 // OverheadSum reproduces Table 5: ns/element of the checker's local
@@ -45,11 +62,12 @@ func OverheadSum(opt OverheadOptions) []OverheadRow {
 		configs = core.ScalingConfigs()
 	}
 	pairs := workload.UniformPairs(opt.Elements, 1<<62, 1<<62, opt.Seed)
+	par := core.NewParallelAccumulator(serialFloor(opt.Parallelism))
 	rows := make([]OverheadRow, 0, len(configs)+1)
 	for _, cfg := range configs {
 		c := core.NewSumChecker(cfg, opt.Seed)
 		best := minDuration(opt.Repeats, func() {
-			t := core.SumCheckLocalWork(c, pairs)
+			t := core.SumCheckLocalWorkPar(c, par, pairs)
 			sinkU64 = t[0]
 		})
 		rows = append(rows, OverheadRow{
@@ -94,12 +112,13 @@ func OverheadPerm(opt OverheadOptions) []PermOverheadRow {
 	input := workload.UniformU64s(opt.Elements, 1e8, opt.Seed)
 	output := data.CloneU64s(input)
 	data.SortU64(output)
+	par := core.NewParallelAccumulator(serialFloor(opt.Parallelism))
 	rows := make([]PermOverheadRow, 0, 3)
 	for _, fam := range []hashing.Family{hashing.FamilyCRC, hashing.FamilyTab} {
 		cfg := core.PermConfig{Family: fam, LogH: 32, Iterations: 1}
 		c := core.NewPermChecker(cfg, opt.Seed)
 		best := minDuration(opt.Repeats, func() {
-			lambda := core.PermCheckLocalWork(c, input, output)
+			lambda := core.PermCheckLocalWorkPar(c, par, input, output)
 			sinkU64 = lambda[0]
 		})
 		rows = append(rows, PermOverheadRow{

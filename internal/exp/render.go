@@ -155,6 +155,20 @@ func RenderPermOverhead(rows []PermOverheadRow) string {
 	return b.String()
 }
 
+// RenderLocalBench prints the serial-vs-batch-vs-parallel hot loop
+// measurement.
+func RenderLocalBench(rows []LocalBenchRow) string {
+	var b strings.Builder
+	b.WriteString("Local accumulation engine: scalar vs batch-hash vs parallel (ns/element)\n\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-16s %8s %12s %14s %10s\n",
+		"loop", "variant", "config", "workers", "elements", "ns/elem", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-10s %-16s %8d %12d %14.2f %9.2fx\n",
+			r.Benchmark, r.Variant, r.Config, r.Workers, r.Elements, r.NsPerElem, r.Speedup)
+	}
+	return b.String()
+}
+
 // RenderVolume prints the communication-volume audit.
 func RenderVolume(rows []VolumeRow) string {
 	var b strings.Builder

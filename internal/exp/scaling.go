@@ -36,6 +36,15 @@ type WeakScalingOptions struct {
 	// Mode times the checked runs eagerly or deferred; baselines always
 	// run with checking off.
 	Mode repro.CheckMode
+	// Parallelism is the per-PE goroutine fan-out of the checkers'
+	// local accumulation: n > 1 shards across n workers; values below
+	// 2 — including the zero value — stay serial (same encoding as
+	// OverheadOptions). Serial is the right default here: the PEs are
+	// goroutines sharing one process, so per-PE fan-out oversubscribes
+	// the cores and would inflate the checked-vs-baseline ratio this
+	// experiment exists to measure. Opt in explicitly when PEs have
+	// cores to spare.
+	Parallelism int
 	// Dist selects the transport the pipeline runs over; the zero value
 	// is the in-memory network. Wall-clock ratios are only meaningful on
 	// mem and tcp (simnet time is virtual), but every backend works.
@@ -50,6 +59,7 @@ func DefaultWeakScalingOptions() WeakScalingOptions {
 		PEs:         []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
 		Repeats:     3,
 		Seed:        0xf19f4,
+		Parallelism: 1, // serial; see the field doc
 	}
 }
 
@@ -115,7 +125,9 @@ func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.Su
 		return 0, err
 	}
 	defer net.Close()
-	opts := repro.DefaultOptions()
+	// serialFloor: in the library's encoding 0 would mean GOMAXPROCS;
+	// the harness treats everything below 2 as serial.
+	opts := repro.DefaultOptions().WithParallelism(serialFloor(opt.Parallelism))
 	if cfg == nil {
 		opts.Mode = repro.CheckOff
 	} else {

@@ -1,0 +1,66 @@
+package hashing
+
+import "testing"
+
+// batchKeys exercises every width class the hashers branch on: zero,
+// small 32-bit values, the 32/64-bit boundary, and full-width keys.
+func batchKeys(n int, seed uint64) []uint64 {
+	rng := NewMT19937_64(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		switch i % 4 {
+		case 0:
+			keys[i] = rng.Uint64() & 0xFFFFFFFF // 32-bit encoding path
+		case 1:
+			keys[i] = rng.Uint64() // full width
+		case 2:
+			keys[i] = uint64(i) // small / sequential
+		default:
+			keys[i] = 0xFFFFFFFF + rng.Uint64n(1<<20) // straddles the boundary
+		}
+	}
+	keys[0] = 0
+	keys[1] = 0xFFFFFFFF
+	keys[2] = 0x100000000
+	keys[3] = ^uint64(0)
+	return keys
+}
+
+// TestHash64BatchMatchesScalar asserts that every family's batch path
+// is bit-identical to element-wise Hash64 — the contract the checker
+// hot loops rely on (every PE must compute the same residues).
+func TestHash64BatchMatchesScalar(t *testing.T) {
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+			h := fam.New(seed)
+			// Odd length exercises the unrolled loops' tail handling.
+			keys := batchKeys(1021, seed+99)
+			dst := make([]uint64, len(keys))
+			h.Hash64Batch(dst, keys)
+			for i, k := range keys {
+				if want := h.Hash64(k); dst[i] != want {
+					t.Fatalf("%s seed=%d key[%d]=%#x: batch %#x != scalar %#x",
+						fam.Name, seed, i, k, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestHash64BatchEmptyAndOversizedDst covers the slice-contract edges:
+// empty batches and dst longer than keys (only len(keys) entries are
+// written).
+func TestHash64BatchEmptyAndOversizedDst(t *testing.T) {
+	for _, fam := range []Family{FamilyCRC, FamilyTab, FamilyTab64, FamilyMix} {
+		h := fam.New(7)
+		h.Hash64Batch(nil, nil) // must not panic
+		dst := []uint64{111, 222, 333}
+		h.Hash64Batch(dst, []uint64{42})
+		if dst[0] != h.Hash64(42) {
+			t.Fatalf("%s: batch of one wrote %#x, want %#x", fam.Name, dst[0], h.Hash64(42))
+		}
+		if dst[1] != 222 || dst[2] != 333 {
+			t.Fatalf("%s: batch wrote past len(keys): %v", fam.Name, dst)
+		}
+	}
+}

@@ -10,4 +10,8 @@
 // instances from seeds, so each checker iteration can draw a fresh
 // function from the family. Families are registered by the names used in
 // the paper's plots: "CRC", "Tab", "Tab64", and "Mix" (the ideal model).
+//
+// Every Hasher also provides Hash64Batch, a block form of Hash64 with a
+// specialised loop per family (no per-element interface dispatch); the
+// checker hot paths consume keys exclusively through it.
 package hashing

@@ -7,6 +7,12 @@ type Hasher interface {
 	// Hash64 maps a 64-bit input to a hash value. Only the low Bits()
 	// bits are significant; higher bits are zero for 32-bit families.
 	Hash64(x uint64) uint64
+	// Hash64Batch hashes keys element-wise into dst (dst[i] =
+	// Hash64(keys[i])); len(dst) must be >= len(keys). Implementations
+	// specialise the inner loop — no per-element interface dispatch,
+	// hoisted table pointers, unrolling — so the checker hot loops
+	// consume blocks of keys at a fraction of the scalar cost.
+	Hash64Batch(dst, keys []uint64)
 	// Bits is the number of significant output bits (32 or 64).
 	Bits() int
 }
@@ -33,6 +39,24 @@ type mixHasher struct {
 
 func (m mixHasher) Hash64(x uint64) uint64 { return Mix64(x ^ m.key) }
 func (m mixHasher) Bits() int              { return 64 }
+
+// Hash64Batch mixes a block of keys. The loop is 4-way unrolled: each
+// Mix64 is a short multiply/shift dependency chain, so independent
+// lanes keep the multiplier busy.
+func (m mixHasher) Hash64Batch(dst, keys []uint64) {
+	k := m.key
+	dst = dst[:len(keys)]
+	i := 0
+	for ; i+4 <= len(keys); i += 4 {
+		dst[i] = Mix64(keys[i] ^ k)
+		dst[i+1] = Mix64(keys[i+1] ^ k)
+		dst[i+2] = Mix64(keys[i+2] ^ k)
+		dst[i+3] = Mix64(keys[i+3] ^ k)
+	}
+	for ; i < len(keys); i++ {
+		dst[i] = Mix64(keys[i] ^ k)
+	}
+}
 
 // Families indexed by name. CRC: hardware-polynomial CRC-32C; Tab:
 // byte-wise tabulation with 32-bit output; Tab64: tabulation with 64-bit

@@ -36,6 +36,24 @@ func (t *Tabulation32) Hash64(x uint64) uint64 {
 	return uint64(h)
 }
 
+// Hash64Batch hashes a block of keys through the tables. Hoisting the
+// table pointer out of the loop lets consecutive keys' (independent)
+// lookups overlap instead of re-deriving the receiver per call.
+func (t *Tabulation32) Hash64Batch(dst, keys []uint64) {
+	tb := &t.tables
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		dst[i] = uint64(tb[0][byte(x)] ^
+			tb[1][byte(x>>8)] ^
+			tb[2][byte(x>>16)] ^
+			tb[3][byte(x>>24)] ^
+			tb[4][byte(x>>32)] ^
+			tb[5][byte(x>>40)] ^
+			tb[6][byte(x>>48)] ^
+			tb[7][byte(x>>56)])
+	}
+}
+
 // Bits reports the number of significant output bits.
 func (t *Tabulation32) Bits() int { return 32 }
 
@@ -68,6 +86,23 @@ func (t *Tabulation64) Hash64(x uint64) uint64 {
 		t.tables[5][byte(x>>40)] ^
 		t.tables[6][byte(x>>48)] ^
 		t.tables[7][byte(x>>56)]
+}
+
+// Hash64Batch hashes a block of keys through the tables; see
+// Tabulation32.Hash64Batch.
+func (t *Tabulation64) Hash64Batch(dst, keys []uint64) {
+	tb := &t.tables
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		dst[i] = tb[0][byte(x)] ^
+			tb[1][byte(x>>8)] ^
+			tb[2][byte(x>>16)] ^
+			tb[3][byte(x>>24)] ^
+			tb[4][byte(x>>32)] ^
+			tb[5][byte(x>>40)] ^
+			tb[6][byte(x>>48)] ^
+			tb[7][byte(x>>56)]
+	}
 }
 
 // Bits reports the number of significant output bits.

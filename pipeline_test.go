@@ -503,3 +503,68 @@ func TestContextMixingRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParallelismEquivalence runs the same pipeline — large enough
+// local shares that the parallel accumulation engine really shards —
+// with Parallelism 1, 4, and the GOMAXPROCS default, and requires
+// identical outputs and identical (accepting) verdicts. The per-PE
+// fan-out must be invisible to the SPMD protocol.
+func TestParallelismEquivalence(t *testing.T) {
+	const p = 2
+	pairs := workload.ZipfPairs(40000, 3000, 1000, 61)
+	seq := workload.UniformU64s(30000, 1e12, 62)
+
+	run := func(parallelism int) ([]repro.Pair, []uint64, []repro.Verdict) {
+		var outPairs []repro.Pair
+		var outSeq []uint64
+		var verdicts []repro.Verdict
+		opts := repro.DefaultOptions().WithParallelism(parallelism)
+		opts.Mode = repro.CheckDeferred
+		err := repro.Run(p, 51, func(w *repro.Worker) error {
+			ctx, err := repro.NewContext(w, opts)
+			if err != nil {
+				return err
+			}
+			r := w.Rank()
+			rp, err := ctx.Pairs(shardPairs(pairs, p, r)).ReduceByKey(repro.SumFn).Collect()
+			if err != nil {
+				return err
+			}
+			rs, err := ctx.Seq(shardU64(seq, p, r)).Sort().Collect()
+			if err != nil {
+				return err
+			}
+			if err := ctx.Verify(); err != nil {
+				return err
+			}
+			if r == 0 {
+				outPairs = rp
+				outSeq = rs
+				for _, st := range ctx.Stats() {
+					verdicts = append(verdicts, st.Verdict)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outPairs, outSeq, verdicts
+	}
+
+	refPairs, refSeq, refVerdicts := run(1)
+	for _, par := range []int{4, 0} {
+		gotPairs, gotSeq, gotVerdicts := run(par)
+		if !reflect.DeepEqual(refPairs, gotPairs) || !reflect.DeepEqual(refSeq, gotSeq) {
+			t.Fatalf("parallelism=%d changed pipeline output", par)
+		}
+		if !reflect.DeepEqual(refVerdicts, gotVerdicts) {
+			t.Fatalf("parallelism=%d verdicts %v, want %v", par, gotVerdicts, refVerdicts)
+		}
+	}
+	for _, v := range refVerdicts {
+		if v != repro.VerdictPass {
+			t.Fatalf("clean pipeline verdicts %v, want all pass", refVerdicts)
+		}
+	}
+}

@@ -133,6 +133,20 @@ type Options struct {
 	// Mode selects when checkers resolve their collective rounds; the
 	// zero value is CheckEager.
 	Mode CheckMode
+	// Parallelism bounds the goroutines a checker's local accumulation
+	// phase fans out to on this PE: 0 (the default) selects
+	// runtime.GOMAXPROCS(0), 1 restores the fully serial behavior.
+	// Verdicts and checker states are identical for every setting —
+	// only the local wall time changes. Small inputs stay serial
+	// regardless.
+	Parallelism int
+}
+
+// WithParallelism returns a copy of the Options with the local
+// accumulation fan-out bound set to n; see Options.Parallelism.
+func (o Options) WithParallelism(n int) Options {
+	o.Parallelism = n
+	return o
 }
 
 // DefaultOptions returns a configuration with failure probability below
