@@ -92,7 +92,8 @@ experiments:
   permoverhead  permutation checker local overhead (paper Sec. 7.2)
   commvolume    bottleneck communication volume audit (Sec. 1 claim)
   modeled       alpha-beta-model comm makespans up to p=4096 (Sec. 2 model)
-  bench         local accumulation engine: scalar vs batch vs parallel,
+  bench         local accumulation engine (scalar vs batch vs parallel)
+                and the TCP transport codec comparison (gob vs framed),
                 optionally emitting a JSON artifact (-out bench.json)
   all           everything above at default scale`)
 }
@@ -245,12 +246,17 @@ func runPermOverhead(args []string) error {
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	opt := exp.DefaultLocalBenchOptions()
+	netOpt := exp.DefaultNetBenchOptions()
 	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements per loop")
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
 	sumCfg := fs.String("sum", opt.Sum.Name(), "sum checker configuration (Table 3 syntax)")
 	workers := fs.String("workers", "", "comma-separated parallel worker counts (default 2..GOMAXPROCS doubling)")
-	out := fs.String("out", "", "write rows as a JSON array to this file")
+	withNet := fs.Bool("net", true, "include the TCP allreduce codec benchmark (gob baseline vs framed)")
+	fs.IntVar(&netOpt.P, "net-pes", netOpt.P, "PEs in the TCP benchmark mesh")
+	fs.IntVar(&netOpt.Words, "net-words", netOpt.Words, "words per PE per benchmarked allreduce")
+	fs.IntVar(&netOpt.Rounds, "net-rounds", netOpt.Rounds, "allreduces per TCP benchmark repetition")
+	out := fs.String("out", "", "write the rows as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,15 +277,28 @@ func runBench(args []string) error {
 		return err
 	}
 	fmt.Print(exp.RenderLocalBench(rows))
+	var netRows []exp.NetBenchRow
+	if *withNet {
+		netOpt.Seed = opt.Seed
+		netRows, err = exp.NetBench(netOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderNetBench(netRows))
+	}
 	if *out != "" {
-		blob, err := json.MarshalIndent(rows, "", "  ")
+		blob, err := json.MarshalIndent(struct {
+			Local []exp.LocalBenchRow `json:"local"`
+			Net   []exp.NetBenchRow   `json:"net"`
+		}{rows, netRows}, "", "  ")
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d rows to %s\n", len(rows), *out)
+		fmt.Printf("\nwrote %d local and %d net rows to %s\n", len(rows), len(netRows), *out)
 	}
 	return nil
 }

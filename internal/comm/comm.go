@@ -1,6 +1,7 @@
 // Package comm provides the point-to-point message transport beneath the
 // collectives: an in-memory channel network for fast simulation and a
-// TCP network (net + encoding/gob) for real sockets. Every endpoint
+// TCP network (length-prefixed binary frames over real sockets, see
+// frame.go) for demonstrating transport agnosticism. Every endpoint
 // meters bytes and messages sent and received, so the paper's central
 // metric — bottleneck communication volume, the maximum over PEs of data
 // sent or received (Section 1) — is directly observable.
@@ -16,9 +17,42 @@ import (
 // ErrClosed is returned by operations on a closed network.
 var ErrClosed = errors.New("comm: network closed")
 
-// RecvTimeout bounds how long a Recv waits before reporting a likely
-// deadlock. Zero disables the timeout.
-var RecvTimeout = 120 * time.Second
+// DefaultTimeout is the per-operation deadline a network applies when
+// it is built without an explicit one: every blocking Send or Recv that
+// exceeds it fails with an error naming the stuck operation, the
+// backstop that turns an SPMD deadlock into a diagnosis. Timeouts are
+// per network — concurrent networks in one process are independent —
+// replacing the old mutable package global (comm.RecvTimeout), which
+// raced when concurrent runs reconfigured it.
+const DefaultTimeout = 120 * time.Second
+
+// NoTimeout disables the per-operation deadline entirely when passed as
+// a network's timeout.
+const NoTimeout time.Duration = -1
+
+// resolveTimeout maps a constructor's timeout argument to the effective
+// per-operation deadline: zero selects the DefaultTimeout backstop,
+// negative (NoTimeout) disables deadlines, positive is used as given.
+func resolveTimeout(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return DefaultTimeout
+	case d < 0:
+		return 0
+	}
+	return d
+}
+
+// opDeadline arms a timer channel for one blocking operation under the
+// network's timeout; the returned stop must be deferred. A disabled
+// timeout yields a nil channel (blocks forever in a select).
+func opDeadline(timeout time.Duration) (<-chan time.Time, func()) {
+	if timeout <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(timeout)
+	return t.C, func() { t.Stop() }
+}
 
 // Message is one tagged point-to-point payload.
 type Message struct {

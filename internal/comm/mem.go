@@ -10,9 +10,10 @@ import (
 // endpoint. It carries no serialisation overhead and is the default for
 // simulations with hundreds of PEs.
 type memNetwork struct {
-	eps    []*memEndpoint
-	closed chan struct{}
-	once   sync.Once
+	eps     []*memEndpoint
+	closed  chan struct{}
+	once    sync.Once
+	timeout time.Duration // per-operation deadline; 0 = none
 }
 
 type memEndpoint struct {
@@ -23,16 +24,26 @@ type memEndpoint struct {
 	metrics Metrics
 }
 
-// NewMemNetwork creates an in-memory network of p endpoints. Inboxes are
-// buffered with 2p+16 slots, enough for the direct all-to-all worst case
-// where every PE has one message in flight to every other.
+// NewMemNetwork creates an in-memory network of p endpoints with the
+// DefaultTimeout deadlock backstop. Inboxes are buffered with 2p+16
+// slots, enough for the direct all-to-all worst case where every PE has
+// one message in flight to every other.
 func NewMemNetwork(p int) Network {
+	return NewMemNetworkTimeout(p, 0)
+}
+
+// NewMemNetworkTimeout is NewMemNetwork with an explicit per-operation
+// deadline: every blocking Send or Recv that exceeds it fails with an
+// error naming the stuck operation. Zero selects DefaultTimeout,
+// NoTimeout disables the deadline.
+func NewMemNetworkTimeout(p int, timeout time.Duration) Network {
 	if p < 1 {
 		panic("comm: NewMemNetwork requires p >= 1")
 	}
 	n := &memNetwork{
-		eps:    make([]*memEndpoint, p),
-		closed: make(chan struct{}),
+		eps:     make([]*memEndpoint, p),
+		closed:  make(chan struct{}),
+		timeout: resolveTimeout(timeout),
 	}
 	for i := range n.eps {
 		n.eps[i] = &memEndpoint{
@@ -62,13 +73,29 @@ func (e *memEndpoint) Send(dst, tag int, payload []byte) error {
 		return err
 	}
 	msg := Message{Src: e.rank, Tag: tag, Payload: payload}
+	select {
+	case <-e.net.closed:
+		return ErrClosed
+	default:
+	}
 	target := e.net.eps[dst]
+	// Fast path: room in the inbox, no timer needed.
+	select {
+	case target.inbox <- msg:
+		e.metrics.addSent(len(payload))
+		return nil
+	default:
+	}
+	deadline, stop := opDeadline(e.net.timeout)
+	defer stop()
 	select {
 	case target.inbox <- msg:
 		e.metrics.addSent(len(payload))
 		return nil
 	case <-e.net.closed:
 		return ErrClosed
+	case <-deadline:
+		return fmt.Errorf("comm: PE %d send to %d (tag=%d): timeout after %v; likely deadlock", e.rank, dst, tag, e.net.timeout)
 	}
 }
 
@@ -84,12 +111,8 @@ func (e *memEndpoint) Recv(src, tag int) ([]byte, error) {
 			return m.Payload, nil
 		}
 	}
-	var timeout <-chan time.Time
-	if RecvTimeout > 0 {
-		t := time.NewTimer(RecvTimeout)
-		defer t.Stop()
-		timeout = t.C
-	}
+	deadline, stop := opDeadline(e.net.timeout)
+	defer stop()
 	for {
 		select {
 		case m := <-e.inbox:
@@ -100,8 +123,8 @@ func (e *memEndpoint) Recv(src, tag int) ([]byte, error) {
 			e.pending = append(e.pending, m)
 		case <-e.net.closed:
 			return nil, ErrClosed
-		case <-timeout:
-			return nil, fmt.Errorf("comm: PE %d timed out waiting for (src=%d, tag=%d); likely deadlock", e.rank, src, tag)
+		case <-deadline:
+			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): timeout after %v; likely deadlock", e.rank, src, tag, e.net.timeout)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // SimNetwork wraps a network with the paper's communication cost model
@@ -34,10 +35,19 @@ type simEndpoint struct {
 
 // NewSimNetwork models timing on top of an in-memory network of p PEs.
 // alphaNs and betaNsPerByte follow typical cluster interconnects, e.g.
-// alphaNs=10000 (10 us) and betaNsPerByte=1 (1 GB/s).
+// alphaNs=10000 (10 us) and betaNsPerByte=1 (1 GB/s). The underlying
+// network gets the DefaultTimeout deadlock backstop.
 func NewSimNetwork(p int, alphaNs, betaNsPerByte float64) *SimNetwork {
+	return NewSimNetworkTimeout(p, alphaNs, betaNsPerByte, 0)
+}
+
+// NewSimNetworkTimeout is NewSimNetwork with an explicit per-operation
+// deadline on the underlying in-memory network (in wall-clock time —
+// virtual clocks model transfer cost, not liveness). Zero selects
+// DefaultTimeout, NoTimeout disables the deadline.
+func NewSimNetworkTimeout(p int, alphaNs, betaNsPerByte float64, timeout time.Duration) *SimNetwork {
 	n := &SimNetwork{
-		inner:         NewMemNetwork(p),
+		inner:         NewMemNetworkTimeout(p, timeout),
 		AlphaNs:       alphaNs,
 		BetaNsPerByte: betaNsPerByte,
 	}

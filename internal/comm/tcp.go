@@ -1,50 +1,139 @@
 package comm
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// tcpNetwork is a full-mesh TCP transport over loopback: one connection
-// per unordered pair of PEs, gob-framed messages, and a reader goroutine
-// per connection feeding the destination inbox. It demonstrates that the
-// framework and checkers are transport-agnostic; the in-memory network
-// remains the default for large simulations.
-type tcpNetwork struct {
-	eps    []*tcpEndpoint
-	closed chan struct{}
-	once   sync.Once
+// TCPNetwork is a full-mesh TCP transport over loopback: one connection
+// per unordered pair of PEs, length-prefixed binary frames (frame.go),
+// a buffered writer per connection flushed once per message, and a
+// reader goroutine per connection feeding the destination inbox. It
+// demonstrates that the framework and checkers are transport-agnostic;
+// the in-memory network remains the default for large simulations.
+type TCPNetwork struct {
+	eps      []*tcpEndpoint
+	closed   chan struct{}
+	once     sync.Once
+	timeout  time.Duration // per-operation deadline; 0 = none
+	codec    TCPCodec
+	readers  sync.WaitGroup
+	wireSent atomic.Int64
+	wireRecv atomic.Int64
 }
 
 type tcpEndpoint struct {
-	net     *tcpNetwork
+	net     *TCPNetwork
 	rank    int
 	inbox   chan Message
 	pending []Message
 	conns   []*tcpConn // indexed by peer rank; nil for self
 	metrics Metrics
-	wg      sync.WaitGroup
 }
 
+// tcpConn is one side of a pair link: the socket plus this side's
+// message writer. Senders serialise on mu; the reader goroutine owns
+// the receive direction independently.
 type tcpConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex // serialises writers on this side of the connection
+	c       net.Conn
+	mu      sync.Mutex // serialises writers on this side of the connection
+	w       msgWriter
+	timeout time.Duration
 }
 
-// NewTCPNetwork builds a p-endpoint network over loopback TCP. All
-// listeners and the full connection mesh are established before it
-// returns.
-func NewTCPNetwork(p int) (Network, error) {
+// TCPCodec selects the wire encoding of a TCPNetwork.
+type TCPCodec string
+
+const (
+	// CodecFrame is the default: the varint-framed binary format of
+	// frame.go, with per-connection write buffering — no per-message
+	// reflection and a 3-byte typical header.
+	CodecFrame TCPCodec = "frame"
+	// CodecGob is the seed implementation's encoding/gob stream. It is
+	// kept solely as the measured baseline for the transport benchmarks
+	// (exp.NetBench, BenchmarkTCPAllReduce); new code should not use it.
+	CodecGob TCPCodec = "gob"
+)
+
+// defaultSetupTimeout bounds each dial and handshake during mesh setup.
+const defaultSetupTimeout = 10 * time.Second
+
+// TCPOptions configures NewTCPNetworkOpts. The zero value selects the
+// frame codec, the DefaultTimeout per-operation deadline, and a 10 s
+// setup bound.
+type TCPOptions struct {
+	// Timeout is the per-operation deadline: every blocking Send or Recv
+	// that exceeds it fails with an error naming the stuck operation.
+	// On this transport it is enforced as net.Conn write deadlines on
+	// sends, read deadlines on mid-frame stalls, and a timer on inbox
+	// matching. Zero selects DefaultTimeout, NoTimeout disables it.
+	Timeout time.Duration
+	// SetupTimeout bounds every dial and handshake while the mesh is
+	// being established; zero selects 10 s.
+	SetupTimeout time.Duration
+	// Codec selects the wire encoding; zero value is CodecFrame.
+	Codec TCPCodec
+	// dialFunc overrides the dialer, letting tests inject setup
+	// failures for specific (from, to) pairs.
+	dialFunc func(from, to int, addr string) (net.Conn, error)
+}
+
+// msgWriter encodes messages onto one connection; writeMsg may buffer,
+// flush pushes everything to the socket.
+type msgWriter interface {
+	writeMsg(m Message) error
+	flush() error
+}
+
+// msgReader decodes messages from one connection.
+type msgReader interface {
+	readMsg() (Message, error)
+}
+
+// NewTCPNetwork builds a p-endpoint network over loopback TCP with
+// default options. All listeners and the full connection mesh are
+// established before it returns; any setup failure aborts the mesh and
+// returns an error — it never blocks indefinitely.
+func NewTCPNetwork(p int) (*TCPNetwork, error) {
+	return NewTCPNetworkOpts(p, TCPOptions{})
+}
+
+// NewTCPNetworkOpts is NewTCPNetwork with explicit options.
+func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("comm: NewTCPNetwork requires p >= 1, got %d", p)
 	}
-	n := &tcpNetwork{
-		eps:    make([]*tcpEndpoint, p),
-		closed: make(chan struct{}),
+	codec := opt.Codec
+	if codec == "" {
+		codec = CodecFrame
+	}
+	if codec != CodecFrame && codec != CodecGob {
+		return nil, fmt.Errorf("comm: unknown TCP codec %q", codec)
+	}
+	setupT := opt.SetupTimeout
+	if setupT <= 0 {
+		setupT = defaultSetupTimeout
+	}
+	dial := opt.dialFunc
+	if dial == nil {
+		dial = func(from, to int, addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, setupT)
+		}
+	}
+
+	n := &TCPNetwork{
+		eps:     make([]*tcpEndpoint, p),
+		closed:  make(chan struct{}),
+		timeout: resolveTimeout(opt.Timeout),
+		codec:   codec,
 	}
 	listeners := make([]net.Listener, p)
 	for i := 0; i < p; i++ {
@@ -63,90 +152,270 @@ func NewTCPNetwork(p int) (Network, error) {
 			conns: make([]*tcpConn, p),
 		}
 	}
-	defer func() {
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	// abort records the first setup failure and immediately closes every
+	// listener and already-attached connection, so peers blocked in
+	// Accept, a dial, or a handshake fail fast and the Wait below always
+	// returns. (The seed's version hung forever here: a failed dial left
+	// the peer's Accept pending, and the deferred listener close sat
+	// behind the Wait it was supposed to unblock.)
+	abort := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return
+		}
+		firstErr = err
 		for _, l := range listeners {
 			l.Close()
 		}
-	}()
+		for _, ep := range n.eps {
+			for _, tc := range ep.conns {
+				if tc != nil {
+					tc.c.Close()
+				}
+			}
+		}
+	}
+	attach := func(rank, peer int, conn net.Conn) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			conn.Close()
+			return
+		}
+		cc := &countingConn{Conn: conn, owner: n}
+		n.eps[rank].conns[peer] = &tcpConn{c: cc, w: n.newMsgWriter(cc), timeout: n.timeout}
+	}
 
 	// Rank i accepts from every lower rank and dials every higher rank,
 	// so each unordered pair gets exactly one connection.
 	var wg sync.WaitGroup
-	errs := make(chan error, 2*p)
 	for i := 0; i < p; i++ {
 		i := i
-		wg.Add(1)
+		wg.Add(2)
 		go func() {
 			defer wg.Done()
 			for k := 0; k < i; k++ {
 				conn, err := listeners[i].Accept()
 				if err != nil {
-					errs <- fmt.Errorf("comm: rank %d accept: %w", i, err)
+					abort(fmt.Errorf("comm: rank %d accept: %w", i, err))
 					return
 				}
-				var peer int
-				if err := gob.NewDecoder(conn).Decode(&peer); err != nil {
-					errs <- fmt.Errorf("comm: rank %d handshake: %w", i, err)
+				peer, err := readHandshake(conn, setupT)
+				if err != nil {
+					conn.Close()
+					abort(fmt.Errorf("comm: rank %d handshake: %w", i, err))
 					return
 				}
-				n.attach(i, peer, conn)
+				if peer < 0 || peer >= i {
+					conn.Close()
+					abort(fmt.Errorf("comm: rank %d handshake: bad peer rank %d", i, peer))
+					return
+				}
+				attach(i, peer, conn)
 			}
 		}()
-		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := i + 1; j < p; j++ {
-				conn, err := net.DialTimeout("tcp", listeners[j].Addr().String(), 10*time.Second)
+				conn, err := dial(i, j, listeners[j].Addr().String())
 				if err != nil {
-					errs <- fmt.Errorf("comm: rank %d dial %d: %w", i, j, err)
+					abort(fmt.Errorf("comm: rank %d dial %d: %w", i, j, err))
 					return
 				}
-				if err := gob.NewEncoder(conn).Encode(i); err != nil {
-					errs <- fmt.Errorf("comm: rank %d handshake to %d: %w", i, j, err)
+				if err := writeHandshake(conn, i, setupT); err != nil {
+					conn.Close()
+					abort(fmt.Errorf("comm: rank %d handshake to %d: %w", i, j, err))
 					return
 				}
-				n.attach(i, j, conn)
+				attach(i, j, conn)
 			}
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
+	for _, l := range listeners {
+		l.Close() // idempotent when abort already closed them
+	}
+	if firstErr != nil {
 		n.Close()
-		return nil, err
-	default:
+		return nil, firstErr
+	}
+	for r, ep := range n.eps {
+		for peer, tc := range ep.conns {
+			if peer != r && tc == nil {
+				n.Close()
+				return nil, fmt.Errorf("comm: mesh incomplete: rank %d missing link to %d", r, peer)
+			}
+		}
+	}
+	// Mesh complete: start one reader per connection. Readers must not
+	// start earlier — a failed setup closes connections without
+	// synchronising with them, and no Send can happen before this
+	// function returns.
+	for _, ep := range n.eps {
+		for peer, tc := range ep.conns {
+			if tc == nil {
+				continue
+			}
+			n.readers.Add(1)
+			go n.readLoop(ep, peer, tc)
+		}
 	}
 	return n, nil
 }
 
-// attach registers conn as rank's side of the link to peer and starts
-// the reader goroutine for inbound messages.
-func (n *tcpNetwork) attach(rank, peer int, conn net.Conn) {
-	ep := n.eps[rank]
-	tc := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
-	ep.conns[peer] = tc
-	ep.wg.Add(1)
-	go func() {
-		defer ep.wg.Done()
-		dec := gob.NewDecoder(conn)
-		for {
-			var m Message
-			if err := dec.Decode(&m); err != nil {
-				return // connection closed
-			}
-			select {
-			case ep.inbox <- m:
-			case <-n.closed:
-				return
-			}
-		}
-	}()
+// writeHandshake identifies the dialer to the acceptor: a fixed 8-byte
+// little-endian rank, codec-independent so the message codec starts on
+// a clean stream right after it.
+func writeHandshake(conn net.Conn, rank int, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	defer conn.SetWriteDeadline(time.Time{})
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(rank))
+	_, err := conn.Write(buf[:])
+	return err
 }
 
-func (n *tcpNetwork) Size() int               { return len(n.eps) }
-func (n *tcpNetwork) Endpoint(r int) Endpoint { return n.eps[r] }
+// readHandshake reads the dialer's rank, bounded by the setup timeout
+// so a connected-but-silent peer cannot stall mesh setup.
+func readHandshake(conn net.Conn, timeout time.Duration) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	defer conn.SetReadDeadline(time.Time{})
+	var buf [8]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, err
+	}
+	return int(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+}
 
-func (n *tcpNetwork) Close() error {
+// readLoop delivers peer's inbound messages to ep's inbox until the
+// connection or the network goes down.
+func (n *TCPNetwork) readLoop(ep *tcpEndpoint, peer int, tc *tcpConn) {
+	defer n.readers.Done()
+	r := n.newMsgReader(tc.c)
+	for {
+		m, err := r.readMsg()
+		if err != nil {
+			return // connection closed, peer gone, or mid-frame stall
+		}
+		if m.Src != peer {
+			return // protocol violation; drop the link
+		}
+		select {
+		case ep.inbox <- m:
+		case <-n.closed:
+			return
+		}
+	}
+}
+
+// tcpBufSize is the per-connection read and write buffer. Large enough
+// that a typical collective message (header plus a few KB of words)
+// reaches the socket in one write.
+const tcpBufSize = 32 << 10
+
+func (n *TCPNetwork) newMsgWriter(conn net.Conn) msgWriter {
+	if n.codec == CodecGob {
+		return &gobWriter{enc: gob.NewEncoder(conn)}
+	}
+	return &frameWriter{bw: bufio.NewWriterSize(conn, tcpBufSize)}
+}
+
+func (n *TCPNetwork) newMsgReader(conn net.Conn) msgReader {
+	if n.codec == CodecGob {
+		return &gobReader{dec: gob.NewDecoder(conn)}
+	}
+	return &frameReader{c: conn, br: bufio.NewReaderSize(conn, tcpBufSize), timeout: n.timeout}
+}
+
+type frameWriter struct{ bw *bufio.Writer }
+
+func (w *frameWriter) writeMsg(m Message) error { return writeFrame(w.bw, m) }
+func (w *frameWriter) flush() error             { return w.bw.Flush() }
+
+// frameReader decodes frames off one connection. An idle connection may
+// legitimately stay silent forever, so the wait for a frame's first
+// byte carries no deadline; once a frame has started, a peer stalling
+// mid-frame is a fault and the rest must arrive within the timeout.
+type frameReader struct {
+	c       net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+}
+
+func (r *frameReader) readMsg() (Message, error) {
+	if r.timeout > 0 {
+		if err := r.c.SetReadDeadline(time.Time{}); err != nil {
+			return Message{}, err
+		}
+		if _, err := r.br.Peek(1); err != nil {
+			return Message{}, err
+		}
+		if err := r.c.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return Message{}, err
+		}
+	}
+	return readFrame(r.br)
+}
+
+type gobWriter struct{ enc *gob.Encoder }
+
+func (w *gobWriter) writeMsg(m Message) error { return w.enc.Encode(m) }
+func (w *gobWriter) flush() error             { return nil } // gob writes through
+
+type gobReader struct{ dec *gob.Decoder }
+
+func (r *gobReader) readMsg() (Message, error) {
+	var m Message
+	err := r.dec.Decode(&m)
+	return m, err
+}
+
+// countingConn meters raw socket traffic — framing included — into the
+// owning network's wire counters. The per-endpoint Metrics count
+// payload bytes only (the paper's volume metric); the difference
+// between the two is the codec's framing overhead.
+type countingConn struct {
+	net.Conn
+	owner *TCPNetwork
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.owner.wireRecv.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.owner.wireSent.Add(int64(n))
+	return n, err
+}
+
+// Size returns the number of PEs.
+func (n *TCPNetwork) Size() int { return len(n.eps) }
+
+// Endpoint returns rank's endpoint.
+func (n *TCPNetwork) Endpoint(r int) Endpoint { return n.eps[r] }
+
+// WireBytes returns the total bytes written to and read from the
+// network's sockets across all connections, message framing included.
+func (n *TCPNetwork) WireBytes() (sent, recv int64) {
+	return n.wireSent.Load(), n.wireRecv.Load()
+}
+
+// Close tears the network down: pending and future operations fail with
+// ErrClosed, and all reader goroutines have exited when it returns.
+func (n *TCPNetwork) Close() error {
 	n.once.Do(func() {
 		close(n.closed)
 		for _, ep := range n.eps {
@@ -156,8 +425,34 @@ func (n *tcpNetwork) Close() error {
 				}
 			}
 		}
+		n.readers.Wait()
 	})
 	return nil
+}
+
+func (n *TCPNetwork) isClosed() bool {
+	select {
+	case <-n.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// mapConnErr folds socket-level failures into the transport's error
+// vocabulary: operations on a torn-down network report ErrClosed (so
+// dist's first-error teardown attributes the root cause instead of the
+// victims' "use of closed network connection" noise), and deadline
+// expiries say "timeout".
+func (n *TCPNetwork) mapConnErr(err error) error {
+	if errors.Is(err, net.ErrClosed) || n.isClosed() {
+		return ErrClosed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("timeout after %v: %w", n.timeout, err)
+	}
+	return err
 }
 
 func (e *tcpEndpoint) Rank() int         { return e.rank }
@@ -169,24 +464,49 @@ func (e *tcpEndpoint) Send(dst, tag int, payload []byte) error {
 		return err
 	}
 	msg := Message{Src: e.rank, Tag: tag, Payload: payload}
+	if e.net.isClosed() {
+		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, ErrClosed)
+	}
 	if dst == e.rank {
+		select {
+		case e.inbox <- msg:
+			e.metrics.addSent(len(payload))
+			return nil
+		default:
+		}
+		deadline, stop := opDeadline(e.net.timeout)
+		defer stop()
 		select {
 		case e.inbox <- msg:
 			e.metrics.addSent(len(payload))
 			return nil
 		case <-e.net.closed:
 			return ErrClosed
+		case <-deadline:
+			return fmt.Errorf("comm: PE %d send to self (tag=%d): timeout after %v; likely deadlock", e.rank, tag, e.net.timeout)
 		}
 	}
-	tc := e.conns[dst]
-	tc.mu.Lock()
-	err := tc.enc.Encode(msg)
-	tc.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, err)
+	if err := e.conns[dst].send(msg); err != nil {
+		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, e.net.mapConnErr(err))
 	}
 	e.metrics.addSent(len(payload))
 	return nil
+}
+
+// send encodes and flushes one message under this side's write lock,
+// bounded by the connection's write deadline.
+func (tc *tcpConn) send(m Message) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.timeout > 0 {
+		if err := tc.c.SetWriteDeadline(time.Now().Add(tc.timeout)); err != nil {
+			return err
+		}
+	}
+	if err := tc.w.writeMsg(m); err != nil {
+		return err
+	}
+	return tc.w.flush()
 }
 
 func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
@@ -200,12 +520,8 @@ func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
 			return m.Payload, nil
 		}
 	}
-	var timeout <-chan time.Time
-	if RecvTimeout > 0 {
-		t := time.NewTimer(RecvTimeout)
-		defer t.Stop()
-		timeout = t.C
-	}
+	deadline, stop := opDeadline(e.net.timeout)
+	defer stop()
 	for {
 		select {
 		case m := <-e.inbox:
@@ -216,8 +532,8 @@ func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
 			e.pending = append(e.pending, m)
 		case <-e.net.closed:
 			return nil, ErrClosed
-		case <-timeout:
-			return nil, fmt.Errorf("comm: PE %d timed out waiting for (src=%d, tag=%d); likely deadlock", e.rank, src, tag)
+		case <-deadline:
+			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): timeout after %v; likely deadlock", e.rank, src, tag, e.net.timeout)
 		}
 	}
 }

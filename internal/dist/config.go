@@ -19,8 +19,8 @@ const (
 	// TransportSim is the virtual-time network modeling the paper's
 	// alpha-beta communication cost (Section 2).
 	TransportSim Transport = "simnet"
-	// TransportTCP is the loopback TCP network (real sockets, gob
-	// framing), demonstrating transport agnosticism.
+	// TransportTCP is the loopback TCP network (real sockets, binary
+	// length-prefixed frames), demonstrating transport agnosticism.
 	TransportTCP Transport = "tcp"
 )
 
@@ -56,10 +56,16 @@ type Config struct {
 	SimAlphaNs float64
 	// SimBetaNsPerByte is the simnet per-byte transfer time.
 	SimBetaNsPerByte float64
-	// Timeout closes the network when exceeded, failing every worker at
-	// its next communication operation. It does not interrupt local
+	// Timeout bounds the run's communication in two layers. NewNetwork
+	// plumbs it into the transport as the per-operation deadline: every
+	// blocking Send or Recv that exceeds it fails with an error naming
+	// the stuck operation (net.Conn read/write deadlines on the TCP
+	// path, timers on mem/simnet). RunConfig additionally closes the
+	// network when the whole run exceeds it, failing every worker at
+	// its next communication operation. Neither layer interrupts local
 	// computation: a compute-bound body only notices the deadline when
-	// it next touches the network. Zero means no deadline.
+	// it next touches the network. Zero keeps the transports'
+	// DefaultTimeout deadlock backstop and applies no whole-run bound.
 	Timeout time.Duration
 }
 
@@ -81,15 +87,15 @@ func (c Config) NewNetwork(p int) (comm.Network, error) {
 	}
 	switch c.Transport {
 	case "", TransportMem:
-		return comm.NewMemNetwork(p), nil
+		return comm.NewMemNetworkTimeout(p, c.Timeout), nil
 	case TransportSim:
 		alpha, beta := c.SimAlphaNs, c.SimBetaNsPerByte
 		if alpha == 0 && beta == 0 {
 			alpha, beta = DefaultSimAlphaNs, DefaultSimBetaNsPerByte
 		}
-		return comm.NewSimNetwork(p, alpha, beta), nil
+		return comm.NewSimNetworkTimeout(p, alpha, beta, c.Timeout), nil
 	case TransportTCP:
-		return comm.NewTCPNetwork(p)
+		return comm.NewTCPNetworkOpts(p, comm.TCPOptions{Timeout: c.Timeout})
 	}
 	return nil, fmt.Errorf("dist: unknown transport %q (want mem, simnet, or tcp)", c.Transport)
 }

@@ -143,7 +143,7 @@ func TestCommonSeedAgreement(t *testing.T) {
 
 // TestFirstErrorPropagation fails one worker while its peers block in a
 // collective; the failure must tear the run down promptly (well under
-// the comm.RecvTimeout deadlock backstop) and surface the root cause,
+// the comm.DefaultTimeout deadlock backstop) and surface the root cause,
 // not the peers' secondary closed-network errors.
 func TestFirstErrorPropagation(t *testing.T) {
 	sentinel := errors.New("worker 2 gave up")
@@ -313,7 +313,7 @@ func TestRunConfigTransports(t *testing.T) {
 
 // TestRunConfigTimeout deadlocks one PE on purpose; the configured
 // deadline must close the network and report the timeout long before
-// the comm.RecvTimeout backstop.
+// the comm.DefaultTimeout backstop.
 func TestRunConfigTimeout(t *testing.T) {
 	cfg := Config{Timeout: 150 * time.Millisecond}
 	start := time.Now()
@@ -339,5 +339,65 @@ func TestRunConfigTimeout(t *testing.T) {
 func TestConfigNewNetworkUnknown(t *testing.T) {
 	if _, err := (Config{Transport: "quantum"}).NewNetwork(2); err == nil {
 		t.Fatal("unknown transport produced a network")
+	}
+}
+
+// TestFirstErrorPropagationTCP is the socket version of the teardown
+// attribution test: one PE fails while its peers are mid-collective
+// over real connections, and the run must report the root cause — not
+// the victims' closed-socket noise (which the transport now maps to
+// comm.ErrClosed).
+func TestFirstErrorPropagationTCP(t *testing.T) {
+	sentinel := errors.New("worker 1 gave up")
+	net, err := comm.NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	start := time.Now()
+	err = RunNetwork(net, 5, func(w *Worker) error {
+		if w.Rank() == 1 {
+			return sentinel
+		}
+		return w.Coll.Barrier()
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the sentinel error", err)
+	}
+	if strings.Contains(err.Error(), "use of closed network connection") {
+		t.Fatalf("error %q leaks raw socket noise", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("teardown took %v; peers were not unblocked", elapsed)
+	}
+}
+
+// TestConfigTimeoutReachesRecv checks the Config.Timeout plumbing into
+// the transports' per-operation deadline: a Recv nothing will ever
+// match must fail with a timeout error on every backend, without the
+// run-level timer of RunConfig being involved.
+func TestConfigTimeoutReachesRecv(t *testing.T) {
+	for _, tr := range []Transport{TransportMem, TransportSim, TransportTCP} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Transport: tr, Timeout: 120 * time.Millisecond}
+			net, err := cfg.NewNetwork(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Close()
+			start := time.Now()
+			_, err = net.Endpoint(0).Recv(1, 42)
+			if err == nil {
+				t.Fatal("recv with no sender succeeded")
+			}
+			if !strings.Contains(err.Error(), "timeout") {
+				t.Fatalf("error %q does not mention the timeout", err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("per-operation deadline took %v to fire", elapsed)
+			}
+		})
 	}
 }

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/dist"
+)
+
+// NetBenchOptions configures the TCP transport benchmark: the same
+// allreduce workload over the seed's gob stream and the framed binary
+// codec, quantifying what the transport rewrite buys in wall time and
+// wire bytes.
+type NetBenchOptions struct {
+	P       int // PEs in the mesh
+	Words   int // 64-bit words per PE per allreduce
+	Rounds  int // allreduce operations per repetition
+	Repeats int // repetitions, fastest wins
+	Seed    uint64
+}
+
+// DefaultNetBenchOptions returns CI-scale defaults (a 4-PE mesh is 6
+// loopback connections).
+func DefaultNetBenchOptions() NetBenchOptions {
+	return NetBenchOptions{P: 4, Words: 256, Rounds: 50, Repeats: 3, Seed: 0x7cb1}
+}
+
+// NetBenchRow is one codec's measurement. WireBytesPerOp counts raw
+// socket bytes sent network-wide per allreduce — framing included, the
+// quantity the codec actually changes — while the checker-level volume
+// metric (payload bytes) is identical for both by construction.
+type NetBenchRow struct {
+	Benchmark      string  `json:"benchmark"` // "tcp-allreduce"
+	Variant        string  `json:"variant"`   // "gob", "frame"
+	P              int     `json:"p"`
+	Words          int     `json:"words"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	WireBytesPerOp float64 `json:"wire_bytes_per_op"`
+	SpeedupVsGob   float64 `json:"speedup_vs_gob"`
+}
+
+// NetBench times Rounds allreduces of Words words on a p-PE TCP mesh,
+// once per codec. Both variants run identical collective schedules and
+// verify the same reduction result, so the rows isolate the wire
+// format's cost.
+func NetBench(opt NetBenchOptions) ([]NetBenchRow, error) {
+	d := DefaultNetBenchOptions()
+	if opt.P <= 0 {
+		opt.P = d.P
+	}
+	if opt.Words <= 0 {
+		opt.Words = d.Words
+	}
+	if opt.Rounds <= 0 {
+		opt.Rounds = d.Rounds
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = d.Repeats
+	}
+	var rows []NetBenchRow
+	for _, codec := range []comm.TCPCodec{comm.CodecGob, comm.CodecFrame} {
+		row, err := netBenchCodec(opt, codec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: net bench %s: %w", codec, err)
+		}
+		rows = append(rows, row)
+	}
+	if gob := rows[0].NsPerOp; gob > 0 {
+		for i := range rows {
+			rows[i].SpeedupVsGob = gob / rows[i].NsPerOp
+		}
+	}
+	return rows, nil
+}
+
+func netBenchCodec(opt NetBenchOptions, codec comm.TCPCodec) (NetBenchRow, error) {
+	net, err := comm.NewTCPNetworkOpts(opt.P, comm.TCPOptions{Codec: codec})
+	if err != nil {
+		return NetBenchRow{}, err
+	}
+	defer net.Close()
+	words := make([]uint64, opt.Words)
+	for i := range words {
+		words[i] = opt.Seed + uint64(i)*0x9e3779b97f4a7c15
+	}
+	body := func(w *dist.Worker) error {
+		for r := 0; r < opt.Rounds; r++ {
+			got, err := w.Coll.AllReduce(words, collective.OpXor)
+			if err != nil {
+				return err
+			}
+			// XOR over p identical contributions: zero for even p, the
+			// input itself for odd p. Guards against a codec silently
+			// corrupting payloads while being timed.
+			want := uint64(0)
+			if opt.P%2 == 1 {
+				want = words[0]
+			}
+			if got[0] != want {
+				return fmt.Errorf("allreduce result corrupted: got %#x, want %#x", got[0], want)
+			}
+		}
+		return nil
+	}
+	// Warm-up: TCP buffers and, for gob, the per-stream type descriptors.
+	if err := dist.RunNetwork(net, opt.Seed, body); err != nil {
+		return NetBenchRow{}, err
+	}
+	sent0, _ := net.WireBytes()
+	best := time.Duration(0)
+	for rep := 0; rep < opt.Repeats; rep++ {
+		start := time.Now()
+		if err := dist.RunNetwork(net, opt.Seed, body); err != nil {
+			return NetBenchRow{}, err
+		}
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	sent1, _ := net.WireBytes()
+	return NetBenchRow{
+		Benchmark:      "tcp-allreduce",
+		Variant:        string(codec),
+		P:              opt.P,
+		Words:          opt.Words,
+		NsPerOp:        float64(best.Nanoseconds()) / float64(opt.Rounds),
+		WireBytesPerOp: float64(sent1-sent0) / float64(opt.Rounds*opt.Repeats),
+	}, nil
+}

@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+// TestNetBenchSmoke runs the transport benchmark at tiny scale and
+// checks its deterministic claims: both codec rows present, wire
+// counters advancing, and the framed codec strictly cheaper on the
+// wire than the gob baseline (timing is asserted nowhere — wall-clock
+// comparisons stay in the rendered artifact).
+func TestNetBenchSmoke(t *testing.T) {
+	rows, err := NetBench(NetBenchOptions{P: 3, Words: 32, Rounds: 4, Repeats: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Variant != "gob" || rows[1].Variant != "frame" {
+		t.Fatalf("unexpected variants: %q, %q", rows[0].Variant, rows[1].Variant)
+	}
+	for _, r := range rows {
+		if r.WireBytesPerOp <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("row %s: counters did not advance: %+v", r.Variant, r)
+		}
+	}
+	if rows[1].WireBytesPerOp >= rows[0].WireBytesPerOp {
+		t.Fatalf("framed wire bytes/op %.1f not below gob %.1f",
+			rows[1].WireBytesPerOp, rows[0].WireBytesPerOp)
+	}
+	if s := RenderNetBench(rows); s == "" {
+		t.Fatal("empty render")
+	}
+}

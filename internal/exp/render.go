@@ -169,6 +169,19 @@ func RenderLocalBench(rows []LocalBenchRow) string {
 	return b.String()
 }
 
+// RenderNetBench prints the TCP transport codec comparison.
+func RenderNetBench(rows []NetBenchRow) string {
+	var b strings.Builder
+	b.WriteString("TCP transport: allreduce over gob baseline vs framed codec\n\n")
+	fmt.Fprintf(&b, "%-14s %-8s %4s %8s %14s %18s %10s\n",
+		"benchmark", "codec", "p", "words", "ns/op", "wire bytes/op", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-8s %4d %8d %14.0f %18.1f %9.2fx\n",
+			r.Benchmark, r.Variant, r.P, r.Words, r.NsPerOp, r.WireBytesPerOp, r.SpeedupVsGob)
+	}
+	return b.String()
+}
+
 // RenderVolume prints the communication-volume audit.
 func RenderVolume(rows []VolumeRow) string {
 	var b strings.Builder

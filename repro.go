@@ -96,8 +96,10 @@ func Run(p int, seed uint64, body func(w *Worker) error) error {
 }
 
 // Config selects the transport backend (mem, simnet, tcp) and run
-// limits for RunConfig; its zero value is the in-memory network with no
-// timeout. See dist.Config.
+// limits for RunConfig. Timeout is plumbed into the transport as the
+// per-operation communication deadline and also bounds the whole run;
+// the zero value is the in-memory network with the default deadlock
+// backstop. See dist.Config.
 type Config = dist.Config
 
 // Transport names a point-to-point backend for RunConfig.
