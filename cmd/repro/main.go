@@ -64,6 +64,8 @@ func main() {
 		err = runModeled(args)
 	case "bench":
 		err = runBench(args)
+	case "stream":
+		err = runStream(args)
 	case "all":
 		err = runAll()
 	default:
@@ -94,7 +96,11 @@ experiments:
   modeled       alpha-beta-model comm makespans up to p=4096 (Sec. 2 model)
   bench         local accumulation engine (scalar vs batch vs parallel)
                 and the TCP transport codec comparison (gob vs framed),
-                optionally emitting a JSON artifact (-out bench.json)
+                plus the streaming throughput sweep, optionally emitting
+                a JSON artifact (-out bench.json)
+  stream        streaming checked operations: chunked accumulate/merge/
+                seal residue cost vs one-shot across chunk sizes
+                (-chunk 65536 or -chunks 1024,8192,65536)
   all           everything above at default scale`)
 }
 
@@ -253,6 +259,7 @@ func runBench(args []string) error {
 	sumCfg := fs.String("sum", opt.Sum.Name(), "sum checker configuration (Table 3 syntax)")
 	workers := fs.String("workers", "", "comma-separated parallel worker counts (default 2..GOMAXPROCS doubling)")
 	withNet := fs.Bool("net", true, "include the TCP allreduce codec benchmark (gob baseline vs framed)")
+	withStream := fs.Bool("stream", true, "include the streaming chunked-vs-oneshot throughput sweep")
 	fs.IntVar(&netOpt.P, "net-pes", netOpt.P, "PEs in the TCP benchmark mesh")
 	fs.IntVar(&netOpt.Words, "net-words", netOpt.Words, "words per PE per benchmarked allreduce")
 	fs.IntVar(&netOpt.Rounds, "net-rounds", netOpt.Rounds, "allreduces per TCP benchmark repetition")
@@ -287,18 +294,82 @@ func runBench(args []string) error {
 		fmt.Println()
 		fmt.Print(exp.RenderNetBench(netRows))
 	}
+	var streamRows []exp.StreamBenchRow
+	if *withStream {
+		streamOpt := exp.DefaultStreamBenchOptions()
+		streamOpt.Elements = opt.Elements
+		streamOpt.Repeats = opt.Repeats
+		streamOpt.Seed = opt.Seed
+		streamOpt.Sum = opt.Sum
+		streamRows, err = exp.StreamBench(streamOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderStreamBench(streamRows))
+	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(struct {
-			Local []exp.LocalBenchRow `json:"local"`
-			Net   []exp.NetBenchRow   `json:"net"`
-		}{rows, netRows}, "", "  ")
+			Local  []exp.LocalBenchRow  `json:"local"`
+			Net    []exp.NetBenchRow    `json:"net"`
+			Stream []exp.StreamBenchRow `json:"stream"`
+		}{rows, netRows, streamRows}, "", "  ")
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d local and %d net rows to %s\n", len(rows), len(netRows), *out)
+		fmt.Printf("\nwrote %d local, %d net, and %d stream rows to %s\n",
+			len(rows), len(netRows), len(streamRows), *out)
+	}
+	return nil
+}
+
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	opt := exp.DefaultStreamBenchOptions()
+	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements per streamed side")
+	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
+	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	fs.IntVar(&opt.Parallelism, "par", opt.Parallelism,
+		parFlagHelp+"; chunks below the 8192-element fan-out threshold stay serial regardless")
+	chunk := fs.Int("chunk", 0, "single resident chunk size to measure (overrides -chunks)")
+	chunks := fs.String("chunks", "", "comma-separated resident chunk sizes (default 1024,8192,65536)")
+	sumCfg := fs.String("sum", opt.Sum.Name(), "sum checker configuration (Table 3 syntax)")
+	out := fs.String("out", "", "write the rows as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := core.ParseSumConfig(*sumCfg)
+	if err != nil {
+		return err
+	}
+	opt.Sum = cfg
+	if *chunks != "" {
+		parsed, err := parseInts(*chunks)
+		if err != nil {
+			return err
+		}
+		opt.Chunks = parsed
+	}
+	if *chunk > 0 {
+		opt.Chunks = []int{*chunk}
+	}
+	rows, err := exp.StreamBench(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderStreamBench(rows))
+	if *out != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d stream rows to %s\n", len(rows), *out)
 	}
 	return nil
 }

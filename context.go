@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/ops"
+	"repro/internal/stream"
 )
 
 // CheckMode selects when the checkers of a Context's operations resolve
@@ -116,6 +117,14 @@ type CheckStats struct {
 	// CheckNs is the checker's wall time on this PE: local accumulation
 	// plus, in eager mode, the inline resolution.
 	CheckNs int64
+	// Chunks counts the source chunks a streaming stage consumed on
+	// this PE, input and output sides together; zero for one-shot
+	// stages.
+	Chunks int
+	// PeakResident is the largest single chunk, in elements, that was
+	// resident at once during a streaming stage — the stage's memory
+	// high-water mark; zero for one-shot stages.
+	PeakResident int
 	// Verdict is the checker's outcome for this stage.
 	Verdict Verdict
 }
@@ -328,7 +337,15 @@ func (c *Context) runStagePrep(op string, elemsIn int, exec func() (int, error),
 	}
 	states := mkState(label)
 	st.CheckNs = time.Since(t1).Nanoseconds()
+	return c.settle(st, states, prepBytes, prepMsgs, prepRounds)
+}
 
+// settle registers a stage's checker states per the check mode — queued
+// for the batched Verify in deferred mode, resolved inline in eager
+// mode — and appends the finished stats entry. The prep figures are any
+// checker-side communication the stage already paid (zero for stages
+// without a preparation step).
+func (c *Context) settle(st CheckStats, states []core.CheckState, prepBytes, prepMsgs int64, prepRounds int) error {
 	switch c.mode {
 	case CheckDeferred:
 		st.Verdict = VerdictPending
@@ -364,8 +381,42 @@ func (c *Context) runStagePrep(op string, elemsIn int, exec func() (int, error),
 		}
 		st.Verdict = VerdictFail
 		c.stats = append(c.stats, st)
-		return c.fail(&StageError{Stage: label, Op: op})
+		return c.fail(&StageError{Stage: st.Stage, Op: st.Op})
 	}
+}
+
+// runStreamStage executes one streaming verification stage: drive
+// consumes this PE's sources chunk by chunk and accumulates the
+// checker's local phase, returning the sealed states plus the
+// input-side and output-side metering. There is no operation to run —
+// the data already streamed past — so the drive is charged entirely to
+// the checker, and under CheckOff the sources are not consumed at all.
+// Drives must not communicate.
+func (c *Context) runStreamStage(op string, drive func(label string) ([]core.CheckState, stream.Meter, stream.Meter, error)) error {
+	if c.err != nil {
+		return c.err
+	}
+	label := fmt.Sprintf("%s#%d", op, len(c.stats))
+	st := CheckStats{Stage: label, Op: op, Verdict: VerdictSkipped}
+	if c.mode == CheckOff {
+		c.stats = append(c.stats, st)
+		return nil
+	}
+	t0 := time.Now()
+	states, in, out, err := drive(label)
+	st.CheckNs = time.Since(t0).Nanoseconds()
+	st.ElementsIn = in.Elements
+	st.ElementsOut = out.Elements
+	total := in
+	total.Merge(out)
+	st.Chunks = total.Chunks
+	st.PeakResident = total.PeakResident
+	if err != nil {
+		st.Verdict = VerdictError
+		c.stats = append(c.stats, st)
+		return c.fail(err)
+	}
+	return c.settle(st, states, 0, 0, 0)
 }
 
 // Verify resolves every pending checker in one batched collective round

@@ -125,3 +125,50 @@ func ExampleCheckSum() {
 	}
 	// Output: accepted: false
 }
+
+// ExampleContext_StreamPairs verifies a sum aggregation over a
+// generator-backed stream: 100 000 pairs per PE are produced and
+// discarded chunk by chunk — only 1000 elements are ever resident —
+// while the checker accumulates its constant-size state.
+func ExampleContext_StreamPairs() {
+	const n, chunk, keys = 100_000, 1_000, 10
+	// The asserted result: key k owns the sum of all values v = r*n + i
+	// with i%keys == k, over both PEs' streams; PE 0 holds it.
+	sums := make([]uint64, keys)
+	for r := 0; r < 2; r++ {
+		for i := 0; i < n; i++ {
+			sums[i%keys] += uint64(r*n + i)
+		}
+	}
+	asserted := make([]repro.Pair, keys)
+	for k, s := range sums {
+		asserted[k] = repro.Pair{Key: uint64(k), Value: s}
+	}
+	report := make(chan string, 1)
+	err := repro.Run(2, 42, func(w *repro.Worker) error {
+		ctx, err := repro.NewContext(w, repro.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		input := repro.GenPairs(n, chunk, func(i int) repro.Pair {
+			return repro.Pair{Key: uint64(i % keys), Value: uint64(w.Rank()*n + i)}
+		})
+		var out []repro.Pair
+		if w.Rank() == 0 {
+			out = asserted
+		}
+		if err := ctx.StreamPairs(input).AssertSum(repro.SlicePairs(out, 0)); err != nil {
+			return err
+		}
+		if st := ctx.Stats()[0]; w.Rank() == 0 {
+			report <- fmt.Sprintf("verified %d streamed elements in %d chunks, peak resident %d",
+				st.ElementsIn, st.Chunks, st.PeakResident)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(<-report)
+	// Output: verified 100000 streamed elements in 101 chunks, peak resident 1000
+}

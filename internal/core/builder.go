@@ -1,0 +1,285 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/hashing"
+)
+
+// This file holds the mergeable partial forms of the checker states:
+// builders with an add-chunk / merge / seal lifecycle. A builder
+// accumulates any number of input and output chunks (in any interleaving
+// that respects the per-builder ordering rules below), two builders over
+// disjoint chunk sets merge into one, and Seal freezes the accumulated
+// partial into the corresponding CheckState.
+//
+// The sealed state is bit-identical to the one-shot state built over the
+// concatenation of all chunks, for every chunking and every
+// ParallelAccumulator worker count:
+//
+//   - sum checker tables stay congruent mod r under chunked accumulation
+//     and raw-table merge, and Seal normalizes before differencing — so
+//     the residues agree exactly;
+//   - permutation fingerprints combine by wraparound addition mod 2^64,
+//     which is commutative and associative;
+//   - the sortedness boundary summary merges with the same rank-ordered
+//     interval combine the collective resolution uses, applied to chunk
+//     positions instead of PE ranks.
+//
+// Builders are the foundation of the internal/stream subsystem: the
+// one-shot New...State constructors in state.go are thin wrappers that
+// feed a builder exactly one chunk per side.
+//
+// Builders are single-use (Seal at most once) and not safe for
+// concurrent use; two builders may accumulate concurrently and merge
+// afterwards — that is the point.
+
+// ---------------------------------------------------------------------
+// Sum/count aggregation
+// ---------------------------------------------------------------------
+
+// SumAggBuilder is the mergeable partial form of SumAggState: two raw
+// counter tables (input side, output side) that chunks accumulate into.
+// Chunk order is immaterial on both sides.
+type SumAggBuilder struct {
+	stage  string
+	c      *SumChecker
+	par    ParallelAccumulator
+	count  bool
+	tv, to []uint64
+}
+
+// NewSumAggBuilder starts an empty sum (or, with count, count)
+// aggregation partial for the given stage. Accumulation of every chunk
+// is sharded across par.
+func NewSumAggBuilder(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, count bool) *SumAggBuilder {
+	c := NewSumChecker(cfg, seed)
+	return &SumAggBuilder{stage: stage, c: c, par: par, count: count, tv: c.NewTable(), to: c.NewTable()}
+}
+
+// AddInput accumulates one chunk of the operation's input.
+func (b *SumAggBuilder) AddInput(pairs []data.Pair) {
+	if b.count {
+		b.par.AccumulateCount(b.c, b.tv, pairs)
+		return
+	}
+	b.par.AccumulateSum(b.c, b.tv, pairs)
+}
+
+// AddOutput accumulates one chunk of the asserted result.
+func (b *SumAggBuilder) AddOutput(pairs []data.Pair) {
+	b.par.AccumulateSum(b.c, b.to, pairs)
+}
+
+// Merge folds src's partial tables into b. src is consumed: its tables
+// are normalized in place and must not receive further chunks.
+func (b *SumAggBuilder) Merge(src *SumAggBuilder) {
+	b.c.Normalize(src.tv)
+	b.c.Normalize(src.to)
+	b.foldTable(b.tv, src.tv)
+	b.foldTable(b.to, src.to)
+}
+
+// foldTable adds a normalized table into a raw one with the checker's
+// congruence-preserving deferred-overflow add.
+func (b *SumAggBuilder) foldTable(dst, src []uint64) {
+	d := b.c.cfg.Buckets
+	for it := 0; it < b.c.cfg.Iterations; it++ {
+		for i := it * d; i < (it+1)*d; i++ {
+			b.c.add(dst, i, it, src[i])
+		}
+	}
+}
+
+// Seal freezes the partial into the two-phase checker state. The
+// builder's tables are consumed.
+func (b *SumAggBuilder) Seal() *SumAggState {
+	return newSumDiffState(b.stage, b.c, b.tv, b.to)
+}
+
+// ---------------------------------------------------------------------
+// Permutation / union
+// ---------------------------------------------------------------------
+
+// PermBuilder is the mergeable partial form of PermState: the
+// per-iteration truncated hash sums, inputs added and outputs
+// subtracted. Chunk order is immaterial on both sides.
+type PermBuilder struct {
+	stage   string
+	c       *PermChecker
+	par     ParallelAccumulator
+	lambda  []uint64
+	localOK bool
+}
+
+// NewPermBuilder starts an empty permutation partial for the given
+// stage. Accumulation of every chunk is sharded across par.
+func NewPermBuilder(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator) *PermBuilder {
+	c := NewPermChecker(cfg, seed)
+	return &PermBuilder{stage: stage, c: c, par: par, lambda: make([]uint64, cfg.Iterations), localOK: true}
+}
+
+// AddInput accumulates one chunk of (one of) the input sequences.
+func (b *PermBuilder) AddInput(xs []uint64) {
+	b.par.AccumulatePerm(b.c, b.lambda, xs, false)
+}
+
+// AddOutput accumulates one chunk of the asserted output sequence.
+func (b *PermBuilder) AddOutput(xs []uint64) {
+	b.par.AccumulatePerm(b.c, b.lambda, xs, true)
+}
+
+// Merge folds src's partial fingerprint into b. src is consumed.
+func (b *PermBuilder) Merge(src *PermBuilder) {
+	for i := range b.lambda {
+		b.lambda[i] += src.lambda[i]
+	}
+	b.localOK = b.localOK && src.localOK
+}
+
+// Seal freezes the partial into the two-phase checker state.
+func (b *PermBuilder) Seal() *PermState {
+	return &PermState{stage: b.stage, c: b.c, lambda: b.lambda, localOK: b.localOK}
+}
+
+// ---------------------------------------------------------------------
+// Sort / merge
+// ---------------------------------------------------------------------
+
+// SortedBuilder is the mergeable partial form of SortedState: a
+// permutation partial plus the sortedness interval summary maintained
+// across output chunks. Input chunks may arrive in any order; output
+// chunks must arrive in sequence order (each chunk is the next
+// contiguous segment of this PE's asserted output), and Merge treats
+// src's output chunks as positioned after b's — the same rank-ordered
+// interval combine the collective resolution uses.
+type SortedBuilder struct {
+	perm *PermBuilder
+	b    [sortWords]uint64
+}
+
+// NewSortedBuilder starts an empty sort partial for the given stage.
+func NewSortedBuilder(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator) *SortedBuilder {
+	sb := &SortedBuilder{perm: NewPermBuilder(stage, cfg, seed, par)}
+	sb.b[sortOK] = 1
+	return sb
+}
+
+// AddInput accumulates one chunk of (one of) the input sequences.
+func (s *SortedBuilder) AddInput(xs []uint64) { s.perm.AddInput(xs) }
+
+// AddOutput accumulates the next contiguous chunk of this PE's asserted
+// sorted output: the fingerprint subtracts it, and the interval summary
+// extends — the chunk must be internally sorted and must not fall below
+// the previous chunk's last element.
+func (s *SortedBuilder) AddOutput(xs []uint64) {
+	s.perm.AddOutput(xs)
+	if len(xs) == 0 {
+		return
+	}
+	ok := s.b[sortOK]
+	if !data.IsSortedU64(xs) {
+		ok = 0
+	}
+	if s.b[sortHas] == 1 && s.b[sortLast] > xs[0] {
+		ok = 0
+	}
+	if s.b[sortHas] == 0 {
+		s.b[sortFirst] = xs[0]
+		s.b[sortHas] = 1
+	}
+	s.b[sortLast] = xs[len(xs)-1]
+	s.b[sortOK] = ok
+}
+
+// Merge folds src's partial into b; src's output chunks are taken to
+// cover the positions after b's. src is consumed.
+func (s *SortedBuilder) Merge(src *SortedBuilder) {
+	s.perm.Merge(src.perm)
+	d, r := &s.b, &src.b
+	ok := d[sortOK] & r[sortOK]
+	if d[sortHas] == 1 && r[sortHas] == 1 && d[sortLast] > r[sortFirst] {
+		ok = 0
+	}
+	if r[sortHas] == 1 {
+		if d[sortHas] == 0 {
+			d[sortFirst] = r[sortFirst]
+		}
+		d[sortLast] = r[sortLast]
+		d[sortHas] = 1
+	}
+	d[sortOK] = ok
+}
+
+// Seal freezes the partial into the two-phase checker state.
+func (s *SortedBuilder) Seal() *SortedState {
+	perm := s.perm.Seal()
+	words := make([]uint64, len(perm.lambda)+sortWords)
+	copy(words, perm.lambda)
+	copy(words[len(perm.lambda):], s.b[:])
+	return &SortedState{perm: perm, words: words}
+}
+
+// ---------------------------------------------------------------------
+// Redistribution
+// ---------------------------------------------------------------------
+
+// RedistBuilder is the mergeable partial form of the redistribution
+// checker state (Corollaries 14, 15): a permutation partial over folded
+// whole pairs plus the deterministic placement scan, both applied chunk
+// by chunk. Chunk order is immaterial on both sides.
+type RedistBuilder struct {
+	perm     *PermBuilder
+	foldSeed []uint64
+	loc      KeyLocator
+	rank     int
+	buf      []uint64 // reusable fold scratch, one chunk at a time
+}
+
+// NewRedistBuilder starts an empty redistribution partial for the given
+// stage; loc and rank pin this PE's placement contract.
+func NewRedistBuilder(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, loc KeyLocator, rank int) *RedistBuilder {
+	return &RedistBuilder{
+		perm:     NewPermBuilder(stage, cfg, seed, par),
+		foldSeed: hashing.SubSeeds(seed^0x4ed154ed154ed151, 2),
+		loc:      loc,
+		rank:     rank,
+	}
+}
+
+// fold digests whole pairs into single words through the builder's
+// reusable scratch buffer; the result is only valid until the next call.
+func (b *RedistBuilder) fold(ps []data.Pair) []uint64 {
+	if cap(b.buf) < len(ps) {
+		b.buf = make([]uint64, len(ps))
+	}
+	out := b.buf[:len(ps)]
+	for i, pr := range ps {
+		out[i] = hashing.Mix64(pr.Key^b.foldSeed[0]) + hashing.Mix64(pr.Value^b.foldSeed[1])
+	}
+	return out
+}
+
+// AddBefore accumulates one chunk of this PE's pairs before the
+// exchange.
+func (b *RedistBuilder) AddBefore(ps []data.Pair) {
+	b.perm.AddInput(b.fold(ps))
+}
+
+// AddAfter accumulates one chunk of this PE's pairs after the exchange,
+// including the placement scan: every received key must belong to this
+// PE under the locator.
+func (b *RedistBuilder) AddAfter(ps []data.Pair) {
+	b.perm.AddOutput(b.fold(ps))
+	for _, pr := range ps {
+		if b.loc.PE(pr.Key) != b.rank {
+			b.perm.localOK = false
+			break
+		}
+	}
+}
+
+// Merge folds src's partial into b. src is consumed.
+func (b *RedistBuilder) Merge(src *RedistBuilder) { b.perm.Merge(src.perm) }
+
+// Seal freezes the partial into the two-phase checker state.
+func (b *RedistBuilder) Seal() *PermState { return b.perm.Seal() }

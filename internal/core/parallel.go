@@ -26,7 +26,10 @@ import (
 //
 // The zero value runs serially; NewParallelAccumulator(n) bounds the
 // fan-out by n. Inputs shorter than parMinShard elements per worker
-// stay serial, so small pipelines never pay the goroutine overhead.
+// stay serial — and the serial path allocates nothing, so small-chunk
+// streaming (which calls Accumulate* once per chunk) never pays a
+// goroutine spawn or per-shard scratch tables. The alloc guards in
+// parallel_alloc_test.go pin this down.
 type ParallelAccumulator struct {
 	workers int
 }

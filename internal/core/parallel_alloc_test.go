@@ -1,0 +1,55 @@
+//go:build !race
+
+// The alloc guards live behind !race: race instrumentation inserts its
+// own allocations and would report false positives.
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/workload"
+)
+
+// TestSmallChunkAccumulationAllocs pins the streaming fast path: a
+// chunk below the parMinShard threshold must take the serial loop
+// without allocating per-shard scratch, on every accumulation kind,
+// even when the accumulator is configured for heavy fan-out. Chunked
+// verification feeds millions of such calls; one table allocation per
+// chunk would dominate the hot loop.
+func TestSmallChunkAccumulationAllocs(t *testing.T) {
+	par := NewParallelAccumulator(8)
+	pairs := workload.UniformPairs(parMinShard-1, 1<<62, 1<<62, 31)
+	xs := workload.UniformU64s(parMinShard-1, 1e9, 37)
+
+	sc := NewSumChecker(SumConfig{Iterations: 4, Buckets: 16, RHatLog: 7, Family: hashing.FamilyCRC}, 1)
+	table := sc.NewTable()
+	if n := testing.AllocsPerRun(10, func() { par.AccumulateSum(sc, table, pairs) }); n != 0 {
+		t.Errorf("AccumulateSum allocates %.0f objects per sub-threshold chunk, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { par.AccumulateCount(sc, table, pairs) }); n != 0 {
+		t.Errorf("AccumulateCount allocates %.0f objects per sub-threshold chunk, want 0", n)
+	}
+
+	pc := NewPermChecker(PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 2}, 1)
+	sums := make([]uint64, 2)
+	if n := testing.AllocsPerRun(10, func() { par.AccumulatePerm(pc, sums, xs, false) }); n != 0 {
+		t.Errorf("AccumulatePerm allocates %.0f objects per sub-threshold chunk, want 0", n)
+	}
+
+	zs := make([]uint64, len(xs))
+	for i, x := range xs {
+		zs[i] = x % hashing.Mersenne61
+	}
+	z := hashing.Mix64(41) % hashing.Mersenne61
+	if n := testing.AllocsPerRun(10, func() { sinkAlloc = par.PolyProd61(z, zs) }); n != 0 {
+		t.Errorf("PolyProd61 allocates %.0f objects per sub-threshold chunk, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { sinkAlloc = par.PolyProdGF(z, zs) }); n != 0 {
+		t.Errorf("PolyProdGF allocates %.0f objects per sub-threshold chunk, want 0", n)
+	}
+}
+
+// sinkAlloc defeats dead-code elimination in the alloc guards.
+var sinkAlloc uint64

@@ -105,12 +105,16 @@ func (c *PermChecker) LocalSumsInto(sums, xs []uint64) {
 // values of xs into sums, one slot per iteration. The sequence is
 // hashed in blocks through the family's Hash64Batch and summed in four
 // independent lanes; wraparound addition mod 2^64 is commutative, so
-// the sums are bit-identical to the scalar element-order loop. All
-// scratch lives on the stack — concurrent calls on the same checker
-// with disjoint sums are safe (the ParallelAccumulator contract).
+// the sums are bit-identical to the scalar element-order loop. Scratch
+// comes from a shared pool, one block per accumulating goroutine —
+// concurrent calls on the same checker with disjoint sums are safe
+// (the ParallelAccumulator contract) and repeated small-chunk calls
+// allocate nothing.
 func (c *PermChecker) AccumulateInto(sums []uint64, xs []uint64, negate bool) {
 	mask := c.mask
-	var hs [accBlock]uint64
+	s := scratchPool.Get().(*accScratch)
+	defer scratchPool.Put(s)
+	hs := &s.hs
 	for it, h := range c.hashers {
 		var acc uint64
 		for start := 0; start < len(xs); start += accBlock {

@@ -138,14 +138,12 @@ func NewSumAggState(stage string, cfg SumConfig, seed uint64, input, output []da
 
 // NewSumAggStatePar is NewSumAggState with the local accumulation
 // sharded across par's goroutines; the state is identical for every
-// worker count.
+// worker count. It is the one-chunk special case of SumAggBuilder.
 func NewSumAggStatePar(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, input, output []data.Pair) *SumAggState {
-	c := NewSumChecker(cfg, seed)
-	tv := c.NewTable()
-	par.AccumulateSum(c, tv, input)
-	to := c.NewTable()
-	par.AccumulateSum(c, to, output)
-	return newSumDiffState(stage, c, tv, to)
+	b := NewSumAggBuilder(stage, cfg, seed, par, false)
+	b.AddInput(input)
+	b.AddOutput(output)
+	return b.Seal()
 }
 
 // NewCountAggState is NewSumAggState for count aggregation: every input
@@ -156,12 +154,10 @@ func NewCountAggState(stage string, cfg SumConfig, seed uint64, input, output []
 
 // NewCountAggStatePar is NewCountAggState sharded across par.
 func NewCountAggStatePar(stage string, cfg SumConfig, seed uint64, par ParallelAccumulator, input, output []data.Pair) *SumAggState {
-	c := NewSumChecker(cfg, seed)
-	tv := c.NewTable()
-	par.AccumulateCount(c, tv, input)
-	to := c.NewTable()
-	par.AccumulateSum(c, to, output)
-	return newSumDiffState(stage, c, tv, to)
+	b := NewSumAggBuilder(stage, cfg, seed, par, true)
+	b.AddInput(input)
+	b.AddOutput(output)
+	return b.Seal()
 }
 
 func newSumDiffState(stage string, c *SumChecker, tv, to []uint64) *SumAggState {
@@ -203,15 +199,14 @@ func NewPermState(stage string, cfg PermConfig, seed uint64, inputs [][]uint64, 
 
 // NewPermStatePar is NewPermState with the fingerprinting sharded
 // across par's goroutines; the fingerprints are bit-identical for
-// every worker count.
+// every worker count. It is the one-chunk special case of PermBuilder.
 func NewPermStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, inputs [][]uint64, output []uint64) *PermState {
-	c := NewPermChecker(cfg, seed)
-	lambda := make([]uint64, cfg.Iterations)
+	b := NewPermBuilder(stage, cfg, seed, par)
 	for _, in := range inputs {
-		par.AccumulatePerm(c, lambda, in, false)
+		b.AddInput(in)
 	}
-	par.AccumulatePerm(c, lambda, output, true)
-	return &PermState{stage: stage, c: c, lambda: lambda, localOK: true}
+	b.AddOutput(output)
+	return b.Seal()
 }
 
 // NewRedistState accumulates the redistribution checker's local phase
@@ -223,24 +218,12 @@ func NewRedistState(stage string, cfg PermConfig, seed uint64, loc KeyLocator, r
 }
 
 // NewRedistStatePar is NewRedistState with the fingerprinting sharded
-// across par.
+// across par. It is the one-chunk special case of RedistBuilder.
 func NewRedistStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, loc KeyLocator, rank int, before, after []data.Pair) *PermState {
-	foldSeed := hashing.SubSeeds(seed^0x4ed154ed154ed151, 2)
-	fold := func(ps []data.Pair) []uint64 {
-		out := make([]uint64, len(ps))
-		for i, pr := range ps {
-			out[i] = hashing.Mix64(pr.Key^foldSeed[0]) + hashing.Mix64(pr.Value^foldSeed[1])
-		}
-		return out
-	}
-	st := NewPermStatePar(stage, cfg, seed, par, [][]uint64{fold(before)}, fold(after))
-	for _, pr := range after {
-		if loc.PE(pr.Key) != rank {
-			st.localOK = false
-			break
-		}
-	}
-	return st
+	b := NewRedistBuilder(stage, cfg, seed, par, loc, rank)
+	b.AddBefore(before)
+	b.AddAfter(after)
+	return b.Seal()
 }
 
 func (s *PermState) Stage() string   { return s.stage }
@@ -295,22 +278,14 @@ func NewSortedState(stage string, cfg PermConfig, seed uint64, inputs [][]uint64
 }
 
 // NewSortedStatePar is NewSortedState with the fingerprinting sharded
-// across par.
+// across par. It is the one-chunk special case of SortedBuilder.
 func NewSortedStatePar(stage string, cfg PermConfig, seed uint64, par ParallelAccumulator, inputs [][]uint64, output []uint64) *SortedState {
-	perm := NewPermStatePar(stage, cfg, seed, par, inputs, output)
-	words := make([]uint64, len(perm.lambda)+sortWords)
-	copy(words, perm.lambda)
-	b := words[len(perm.lambda):]
-	if len(output) > 0 {
-		b[sortHas] = 1
-		b[sortFirst] = output[0]
-		b[sortLast] = output[len(output)-1]
+	b := NewSortedBuilder(stage, cfg, seed, par)
+	for _, in := range inputs {
+		b.AddInput(in)
 	}
-	b[sortOK] = 1
-	if !data.IsSortedU64(output) {
-		b[sortOK] = 0
-	}
-	return &SortedState{perm: perm, words: words}
+	b.AddOutput(output)
+	return b.Seal()
 }
 
 func (s *SortedState) Stage() string   { return s.perm.stage }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/dist"
@@ -22,8 +23,8 @@ import (
 // identical hash functions and moduli everywhere. After construction
 // the checker itself is read-only on the accumulation paths: concurrent
 // Accumulate/AccumulateCount calls on one instance are safe as long as
-// they target disjoint tables (the ParallelAccumulator contract; all
-// their scratch lives on the stack). The prepare/bucketOf helpers used
+// they target disjoint tables (the ParallelAccumulator contract; their
+// scratch is pooled per goroutine). The prepare/bucketOf helpers used
 // by AccumulateSigned and AccumulateScalar mutate the shared hbuf
 // scratch and are NOT safe to call concurrently.
 type SumChecker struct {
@@ -127,14 +128,28 @@ func (c *SumChecker) bucketOf(key uint64, it int) int {
 // accBlock is the number of elements gathered per batch-hash block:
 // large enough to amortise the batch call and keep one iteration's
 // counter row hot across the block, small enough that the three
-// per-block scratch arrays (keys, hashes, values — 6 KiB total) live on
-// the stack and fit L1 alongside the table.
+// per-block scratch arrays (keys, hashes, values — 6 KiB total) fit L1
+// alongside the table.
 const accBlock = 256
 
+// accScratch is one set of batch-hash block buffers. The buffers are
+// handed to Hash64Batch through the Hasher interface, which makes them
+// escape — declared as locals they would be fresh heap allocations on
+// every Accumulate call, a real cost when chunked streaming issues one
+// call per small chunk. A sync.Pool caps that at one live scratch per
+// concurrently accumulating goroutine; sub-threshold chunks therefore
+// allocate nothing (guarded by parallel_alloc_test.go).
+type accScratch struct {
+	keys, hs, vals [accBlock]uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(accScratch) }}
+
 // Accumulate folds pairs into the table (the cRed inner loop of
-// Algorithm 1). All scratch lives on the stack, so concurrent calls on
-// the same checker with disjoint tables are safe — the
-// ParallelAccumulator contract.
+// Algorithm 1). Scratch comes from a shared pool, one block per
+// accumulating goroutine, so concurrent calls on the same checker with
+// disjoint tables are safe — the ParallelAccumulator contract — and
+// repeated small-chunk calls allocate nothing.
 func (c *SumChecker) Accumulate(table []uint64, pairs []data.Pair) {
 	c.accumulateBlocked(table, pairs, false)
 }
@@ -167,7 +182,9 @@ func (c *SumChecker) accumulateBlocked(table []uint64, pairs []data.Pair, count 
 	d := c.cfg.Buckets
 	its := c.cfg.Iterations
 	pow64 := c.pow64
-	var keys, hs, vals [accBlock]uint64
+	s := scratchPool.Get().(*accScratch)
+	defer scratchPool.Put(s)
+	keys, hs, vals := &s.keys, &s.hs, &s.vals
 	if count {
 		for i := range vals {
 			vals[i] = 1

@@ -122,13 +122,28 @@ func RenderAccuracy(title string, rows []AccuracyRow) string {
 	return b.String()
 }
 
-// RenderScaling prints Fig. 4 rows.
+// RenderScaling prints Fig. 4 rows, followed by the per-stage
+// CheckStats breakdown of the checked run at the largest PE count per
+// configuration (all rows carry one; rendering every P would drown the
+// totals table).
 func RenderScaling(rows []ScalingRow) string {
 	var b strings.Builder
 	b.WriteString("Fig. 4: weak scaling — time with checker / time without\n\n")
 	fmt.Fprintf(&b, "%6s %-20s %12s %12s %8s\n", "PEs", "config", "base (s)", "checked (s)", "ratio")
+	maxP := 0
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%6d %-20s %12.4f %12.4f %8.3f\n", r.P, r.Config, r.BaseSec, r.CheckSec, r.Ratio)
+		if r.P > maxP {
+			maxP = r.P
+		}
+	}
+	for _, r := range rows {
+		if r.P != maxP || len(r.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-stage breakdown, p=%d %s (bottleneck over PEs; +%d batched verify rounds):\n",
+			r.P, r.Config, r.Rounds)
+		b.WriteString(RenderStages(r.Stages))
 	}
 	return b.String()
 }
@@ -182,13 +197,37 @@ func RenderNetBench(rows []NetBenchRow) string {
 	return b.String()
 }
 
-// RenderVolume prints the communication-volume audit.
+// RenderVolume prints the communication-volume audit: the totals table
+// (the sublinearity claim, reduce stage only) followed by each input
+// size's per-stage CheckStats breakdown over the whole pipeline.
 func RenderVolume(rows []VolumeRow) string {
 	var b strings.Builder
 	b.WriteString("Bottleneck communication volume: operation vs checker (bytes, max over PEs)\n\n")
 	fmt.Fprintf(&b, "%10s %4s %14s %16s %14s %12s\n", "n", "p", "op bytes", "checker bytes", "checker msgs", "table bits")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%10d %4d %14d %16d %14d %12d\n", r.N, r.P, r.OpBytes, r.CheckerBytes, r.CheckerMsgs, r.TableBits)
+	}
+	for _, r := range rows {
+		if len(r.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-stage breakdown, n=%d (bottleneck over PEs):\n", r.N)
+		b.WriteString(RenderStages(r.Stages))
+	}
+	return b.String()
+}
+
+// RenderStreamBench prints the streaming-vs-one-shot residue cost
+// measurement.
+func RenderStreamBench(rows []StreamBenchRow) string {
+	var b strings.Builder
+	b.WriteString("Streaming checkers: chunked accumulate/merge/seal vs one-shot (residues bit-identical)\n\n")
+	fmt.Fprintf(&b, "%-8s %-8s %10s %8s %12s %14s %10s %10s %12s\n",
+		"checker", "variant", "chunk", "chunks", "elements", "peak resident", "ns/elem", "Melem/s", "vs one-shot")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s %10d %8d %12d %14d %10.2f %10.1f %11.2fx\n",
+			r.Benchmark, r.Variant, r.Chunk, r.Chunks, r.Elements, r.PeakResident,
+			r.NsPerElem, r.MElemsPerSec, r.Overhead)
 	}
 	return b.String()
 }

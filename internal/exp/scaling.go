@@ -20,6 +20,12 @@ type ScalingRow struct {
 	BaseSec  float64 // unchecked reduce, seconds (mean over repeats)
 	CheckSec float64 // reduce + checker, seconds (mean over repeats)
 	Ratio    float64 // CheckSec / BaseSec, the paper's y-axis
+	// Stages is the per-stage CheckStats breakdown of the checked run
+	// (bottleneck over PEs, last repetition); Rounds counts the
+	// collective operations of a deferred run's batched Verify, showing
+	// the eager-vs-deferred round difference directly.
+	Stages []StageStat
+	Rounds int
 }
 
 // WeakScalingOptions configures the Fig. 4 reproduction. The paper runs
@@ -92,13 +98,13 @@ func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
 		// One shared Zipf sampler (read-only after construction); each
 		// PE samples its local share with its own rng.
 		zipf := workload.NewZipf(opt.KeyUniverse, hashing.NewMT19937_64(opt.Seed))
-		base, err := timeReduce(p, opt, zipf, nil)
+		base, _, _, err := timeReduce(p, opt, zipf, nil)
 		if err != nil {
 			return nil, fmt.Errorf("exp: weak scaling base p=%d: %w", p, err)
 		}
 		for _, cfg := range configs {
 			cfg := cfg
-			checked, err := timeReduce(p, opt, zipf, &cfg)
+			checked, stages, rounds, err := timeReduce(p, opt, zipf, &cfg)
 			if err != nil {
 				return nil, fmt.Errorf("exp: weak scaling %s p=%d: %w", cfg.Name(), p, err)
 			}
@@ -108,6 +114,8 @@ func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
 				BaseSec:  base,
 				CheckSec: checked,
 				Ratio:    checked / base,
+				Stages:   stages,
+				Rounds:   rounds,
 			})
 		}
 	}
@@ -116,13 +124,15 @@ func WeakScaling(opt WeakScalingOptions) ([]ScalingRow, error) {
 
 // timeReduce times the reduce(-and-check) pipeline via the Context API,
 // returning the mean seconds over opt.Repeats runs (after one warm-up
-// run). cfg == nil times the CheckOff baseline. The transport is built
-// once and reused across all repetitions — rebuilding e.g. the O(p²)
-// TCP mesh per run would dominate the timings being taken.
-func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.SumConfig) (float64, error) {
+// run) plus the last repetition's per-stage breakdown (bottleneck over
+// PEs) and its batched-Verify round count. cfg == nil times the
+// CheckOff baseline. The transport is built once and reused across all
+// repetitions — rebuilding e.g. the O(p²) TCP mesh per run would
+// dominate the timings being taken.
+func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.SumConfig) (float64, []StageStat, int, error) {
 	net, err := opt.Dist.NewNetwork(p)
 	if err != nil {
-		return 0, err
+		return 0, nil, 0, err
 	}
 	defer net.Close()
 	// serialFloor: in the library's encoding 0 would mean GOMAXPROCS;
@@ -134,6 +144,8 @@ func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.Su
 		opts.Sum = *cfg
 		opts.Mode = opt.Mode
 	}
+	perPE := make([][]repro.CheckStats, p)
+	var verifyRounds int
 	run := func(rep int) (time.Duration, error) {
 		var elapsed time.Duration
 		err := dist.RunNetworkTimeout(net, opt.Dist.Timeout, opt.Seed+uint64(rep)*7919, func(w *dist.Worker) error {
@@ -163,21 +175,29 @@ func timeReduce(p int, opt WeakScalingOptions, zipf *workload.Zipf, cfg *core.Su
 			if w.Rank() == 0 {
 				elapsed = time.Since(start)
 			}
+			// Overwritten every repetition; the last one survives.
+			perPE[w.Rank()] = ctx.Stats()
+			if w.Rank() == 0 {
+				verifyRounds = 0
+				for _, s := range ctx.VerifySummaries() {
+					verifyRounds += s.Rounds
+				}
+			}
 			return nil
 		})
 		return elapsed, err
 	}
 	// Warm-up.
 	if _, err := run(0); err != nil {
-		return 0, err
+		return 0, nil, 0, err
 	}
 	var total time.Duration
 	for rep := 1; rep <= opt.Repeats; rep++ {
 		d, err := run(rep)
 		if err != nil {
-			return 0, err
+			return 0, nil, 0, err
 		}
 		total += d
 	}
-	return total.Seconds() / float64(opt.Repeats), nil
+	return total.Seconds() / float64(opt.Repeats), BottleneckStages(perPE), verifyRounds, nil
 }

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// StreamBenchOptions configures the streaming-throughput measurement:
+// the checker's local accumulation driven chunk by chunk through the
+// internal/stream accumulators versus the one-shot state constructors,
+// across a sweep of chunk sizes. The quantity of interest is the
+// residue cost — ns per streamed element — as a function of the
+// resident footprint.
+type StreamBenchOptions struct {
+	Elements int
+	// Chunks are the resident chunk sizes to sweep; defaults to
+	// 1Ki..64Ki doubling by 8x.
+	Chunks  []int
+	Repeats int
+	Seed    uint64
+	// Sum is the sum checker shape; defaults to the paper's default
+	// scaling configuration 6×32 CRC m9.
+	Sum core.SumConfig
+	// Perm is the sort checker shape; defaults to Tab, LogH 32, one
+	// iteration (the Section 7.2 measurement point).
+	Perm core.PermConfig
+	// Parallelism shards each chunk's accumulation across n > 1
+	// goroutines; values below 2 stay serial (the exp-layer encoding).
+	// Note chunks below 2*4096 elements stay serial regardless — that
+	// is the ParallelAccumulator threshold the sweep makes visible.
+	Parallelism int
+}
+
+// DefaultStreamBenchOptions returns laptop-scale defaults.
+func DefaultStreamBenchOptions() StreamBenchOptions {
+	return StreamBenchOptions{
+		Elements: 1_000_000,
+		Chunks:   []int{1 << 10, 1 << 13, 1 << 16},
+		Repeats:  5,
+		Seed:     0x57eaa,
+		Sum:      core.SumConfig{Iterations: 6, Buckets: 32, RHatLog: 9, Family: hashing.FamilyCRC},
+		Perm:     core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 1},
+	}
+}
+
+// StreamBenchRow is one measured (checker, chunking) point. Overhead is
+// the chunked residue cost relative to the same checker's one-shot row
+// — the price of never holding more than one chunk resident.
+type StreamBenchRow struct {
+	Benchmark    string  `json:"benchmark"` // "sum", "sort"
+	Variant      string  `json:"variant"`   // "oneshot", "chunked"
+	Chunk        int     `json:"chunk"`     // 0 for oneshot
+	Chunks       int     `json:"chunks"`    // chunks consumed, both sides
+	Elements     int     `json:"elements"`  // elements streamed, both sides
+	PeakResident int     `json:"peak_resident"`
+	NsPerElem    float64 `json:"ns_per_elem"`
+	MElemsPerSec float64 `json:"melems_per_sec"`
+	Overhead     float64 `json:"overhead_vs_oneshot"`
+}
+
+// StreamBench measures the streaming accumulators against the one-shot
+// state constructors. Every variant seals a state with bit-identical
+// residue words — verified on every run, so a drifting chunked path
+// fails loudly instead of benchmarking garbage.
+func StreamBench(opt StreamBenchOptions) ([]StreamBenchRow, error) {
+	d := DefaultStreamBenchOptions()
+	if opt.Elements <= 0 {
+		opt.Elements = d.Elements
+	}
+	if len(opt.Chunks) == 0 {
+		opt.Chunks = d.Chunks
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = d.Repeats
+	}
+	if opt.Sum.Iterations == 0 {
+		opt.Sum = d.Sum
+	}
+	if opt.Perm.Iterations == 0 {
+		opt.Perm = d.Perm
+	}
+	if err := opt.Sum.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Perm.Validate(); err != nil {
+		return nil, err
+	}
+	par := core.NewParallelAccumulator(serialFloor(opt.Parallelism))
+
+	var rows []StreamBenchRow
+	addRow := func(bench, variant string, chunk int, m stream.Meter, ns int64) {
+		elems := m.Elements
+		row := StreamBenchRow{
+			Benchmark: bench, Variant: variant, Chunk: chunk,
+			Chunks: m.Chunks, Elements: elems, PeakResident: m.PeakResident,
+			NsPerElem: float64(ns) / float64(elems),
+		}
+		if ns > 0 {
+			row.MElemsPerSec = float64(elems) / float64(ns) * 1e3
+		}
+		rows = append(rows, row)
+	}
+
+	// --- Sum aggregation checker ---
+	input := workload.UniformPairs(opt.Elements, 1<<62, 1<<62, opt.Seed)
+	output := workload.UniformPairs(opt.Elements/100+1, 1<<62, 1<<62, opt.Seed+1)
+	wholeMeter := stream.Meter{Chunks: 2, Elements: len(input) + len(output), PeakResident: len(input)}
+
+	var refWords []uint64
+	best := minDuration(opt.Repeats, func() {
+		st := core.NewSumAggStatePar("b", opt.Sum, opt.Seed, par, input, output)
+		refWords = st.Words()
+	})
+	addRow("sum", "oneshot", 0, wholeMeter, best.Nanoseconds())
+
+	for _, chunk := range opt.Chunks {
+		var words []uint64
+		var meter stream.Meter
+		best := minDuration(opt.Repeats, func() {
+			acc := stream.NewSumAccumulator("b", opt.Sum, opt.Seed, par, false)
+			if err := acc.DrainInput(stream.SlicePairs(input, chunk)); err != nil {
+				panic(err) // slice sources cannot fail
+			}
+			if err := acc.DrainOutput(stream.SlicePairs(output, chunk)); err != nil {
+				panic(err)
+			}
+			words = acc.Seal().Words()
+			meter = acc.In
+			meter.Merge(acc.Out)
+		})
+		if err := sameResidue("sum", chunk, words, refWords); err != nil {
+			return nil, err
+		}
+		addRow("sum", "chunked", chunk, meter, best.Nanoseconds())
+	}
+
+	// --- Sort checker ---
+	xs := workload.UniformU64s(opt.Elements, 1e12, opt.Seed+2)
+	sorted := data.CloneU64s(xs)
+	data.SortU64(sorted)
+	wholeMeter = stream.Meter{Chunks: 2, Elements: 2 * opt.Elements, PeakResident: opt.Elements}
+
+	best = minDuration(opt.Repeats, func() {
+		st := core.NewSortedStatePar("b", opt.Perm, opt.Seed, par, [][]uint64{xs}, sorted)
+		refWords = st.Words()
+	})
+	addRow("sort", "oneshot", 0, wholeMeter, best.Nanoseconds())
+
+	for _, chunk := range opt.Chunks {
+		var words []uint64
+		var meter stream.Meter
+		best := minDuration(opt.Repeats, func() {
+			acc := stream.NewSortAccumulator("b", opt.Perm, opt.Seed, par)
+			if err := acc.DrainInput(stream.SliceSeq(xs, chunk)); err != nil {
+				panic(err)
+			}
+			if err := acc.DrainOutput(stream.SliceSeq(sorted, chunk)); err != nil {
+				panic(err)
+			}
+			words = acc.Seal().Words()
+			meter = acc.In
+			meter.Merge(acc.Out)
+		})
+		if err := sameResidue("sort", chunk, words, refWords); err != nil {
+			return nil, err
+		}
+		addRow("sort", "chunked", chunk, meter, best.Nanoseconds())
+	}
+
+	// Overheads relative to each benchmark's one-shot row.
+	oneShotNs := make(map[string]float64)
+	for _, r := range rows {
+		if r.Variant == "oneshot" {
+			oneShotNs[r.Benchmark] = r.NsPerElem
+		}
+	}
+	for i := range rows {
+		if base := oneShotNs[rows[i].Benchmark]; base > 0 {
+			rows[i].Overhead = rows[i].NsPerElem / base
+		}
+	}
+	return rows, nil
+}
+
+// sameResidue guards the bench's central claim: chunked and one-shot
+// accumulation seal bit-identical residues.
+func sameResidue(bench string, chunk int, got, want []uint64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("exp: stream bench %s chunk=%d: residue length %d != %d", bench, chunk, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("exp: stream bench %s chunk=%d: residue diverges from one-shot at word %d", bench, chunk, i)
+		}
+	}
+	return nil
+}

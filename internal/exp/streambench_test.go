@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamBenchSmall(t *testing.T) {
+	opt := StreamBenchOptions{Elements: 30_000, Chunks: []int{128, 1009}, Repeats: 1, Seed: 3}
+	rows, err := StreamBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two checkers, each one one-shot row plus one row per chunk size.
+	if len(rows) != 2*(1+len(opt.Chunks)) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NsPerElem <= 0 || r.Elements <= 0 {
+			t.Errorf("%s/%s: empty measurement %+v", r.Benchmark, r.Variant, r)
+		}
+		switch r.Variant {
+		case "oneshot":
+			if r.Chunk != 0 || r.Overhead != 1 {
+				t.Errorf("one-shot row malformed: %+v", r)
+			}
+			if r.PeakResident != opt.Elements {
+				t.Errorf("one-shot peak resident %d, want %d", r.PeakResident, opt.Elements)
+			}
+		case "chunked":
+			if r.PeakResident != r.Chunk {
+				t.Errorf("chunked peak resident %d, want chunk %d", r.PeakResident, r.Chunk)
+			}
+			if r.Chunks < r.Elements/r.Chunk {
+				t.Errorf("chunk count %d implausible for %d elements at chunk %d", r.Chunks, r.Elements, r.Chunk)
+			}
+		default:
+			t.Errorf("unknown variant %q", r.Variant)
+		}
+	}
+	if s := RenderStreamBench(rows); !strings.Contains(s, "bit-identical") || !strings.Contains(s, "oneshot") {
+		t.Error("stream bench rendering incomplete")
+	}
+}
+
+func TestCommVolumeStageBreakdown(t *testing.T) {
+	opt := DefaultCommVolumeOptions()
+	opt.P = 2
+	opt.Ns = []int{3000}
+	opt.Seed = 21
+	rows, err := CommVolume(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := rows[0].Stages
+	if len(stages) != 2 || stages[0].Op != "ReduceByKey" || stages[1].Op != "Sort" {
+		t.Fatalf("unexpected stage breakdown: %+v", stages)
+	}
+	for _, st := range stages {
+		if st.Verdict != "pass" {
+			t.Errorf("stage %s verdict %s", st.Stage, st.Verdict)
+		}
+		if st.CheckerBytes <= 0 || st.Rounds <= 0 {
+			t.Errorf("stage %s missing checker accounting: %+v", st.Stage, st)
+		}
+	}
+	// The totals columns must keep describing the reduce stage alone.
+	if rows[0].OpBytes != stages[0].OpBytes || rows[0].CheckerBytes != stages[0].CheckerBytes {
+		t.Error("volume totals diverged from the reduce stage's breakdown")
+	}
+	out := RenderVolume(rows)
+	if !strings.Contains(out, "per-stage breakdown") || !strings.Contains(out, "Sort#1") {
+		t.Error("volume rendering lacks the stage breakdown")
+	}
+}
+
+func TestWeakScalingStageBreakdown(t *testing.T) {
+	opt := WeakScalingOptions{
+		ItemsPerPE:  1500,
+		KeyUniverse: 5000,
+		PEs:         []int{1, 2},
+		Repeats:     1,
+		Seed:        23,
+	}
+	rows, err := WeakScaling(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Stages) != 1 || r.Stages[0].Op != "ReduceByKey" {
+			t.Fatalf("row p=%d missing checked-run breakdown: %+v", r.P, r.Stages)
+		}
+	}
+	out := RenderScaling(rows)
+	if !strings.Contains(out, "per-stage breakdown, p=2") {
+		t.Error("scaling rendering lacks the largest-P stage breakdown")
+	}
+	if strings.Contains(out, "per-stage breakdown, p=1") {
+		t.Error("scaling rendering should only break down the largest P")
+	}
+}

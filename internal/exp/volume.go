@@ -21,6 +21,11 @@ type VolumeRow struct {
 	CheckerBytes int64 // bottleneck bytes of the checker
 	CheckerMsgs  int64 // bottleneck message count of the checker
 	TableBits    int   // configured minireduction size
+	// Stages is the per-stage CheckStats breakdown of the whole audited
+	// pipeline (reduce, then a sort of the reduced values), bottleneck
+	// over PEs; the totals columns above keep describing the reduce
+	// stage alone.
+	Stages []StageStat
 }
 
 // CommVolumeOptions configures the communication audit.
@@ -50,7 +55,9 @@ func DefaultCommVolumeOptions() CommVolumeOptions {
 // per-stage CheckStats the pipeline Context records: the operation's
 // volume grows with n while the checker's stays constant — o(n/p), the
 // Section 1 criterion. One pipeline run per input size; no hand-rolled
-// network metering or phase resets.
+// network metering or phase resets. The audited reduce is chained with
+// a sort of its output values, and every stage's full CheckStats
+// breakdown rides along in VolumeRow.Stages.
 func CommVolume(opt CommVolumeOptions) ([]VolumeRow, error) {
 	d := DefaultCommVolumeOptions()
 	if opt.P <= 0 {
@@ -68,7 +75,7 @@ func CommVolume(opt CommVolumeOptions) ([]VolumeRow, error) {
 	var rows []VolumeRow
 	for _, n := range opt.Ns {
 		global := workload.ZipfPairs(n, 1e6, 1<<30, opt.Seed)
-		perPE := make([]repro.CheckStats, opt.P)
+		perPE := make([][]repro.CheckStats, opt.P)
 		err := dist.RunConfig(opt.Dist, opt.P, opt.Seed, func(w *dist.Worker) error {
 			opts := repro.DefaultOptions()
 			opts.Sum = opt.Config
@@ -77,17 +84,28 @@ func CommVolume(opt CommVolumeOptions) ([]VolumeRow, error) {
 				return err
 			}
 			s, e := data.SplitEven(len(global), opt.P, w.Rank())
-			if _, err := ctx.Pairs(global[s:e]).ReduceByKey(repro.SumFn).Collect(); err != nil {
+			out, err := ctx.Pairs(global[s:e]).ReduceByKey(repro.SumFn).Collect()
+			if err != nil {
 				return err
 			}
-			perPE[w.Rank()] = ctx.Stats()[0]
+			// A second stage — sorting the reduced values — so the
+			// per-stage breakdown shows more than the audited total.
+			vals := make([]uint64, len(out))
+			for i, pr := range out {
+				vals[i] = pr.Value
+			}
+			if _, err := ctx.Seq(vals).Sort().Collect(); err != nil {
+				return err
+			}
+			perPE[w.Rank()] = ctx.Stats()
 			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exp: comm volume n=%d: %w", n, err)
 		}
-		row := VolumeRow{N: n, P: opt.P, TableBits: opt.Config.TableBits()}
-		for _, st := range perPE {
+		row := VolumeRow{N: n, P: opt.P, TableBits: opt.Config.TableBits(), Stages: BottleneckStages(perPE)}
+		for _, stats := range perPE {
+			st := stats[0] // the audited reduce stage
 			if st.Verdict != repro.VerdictPass {
 				return nil, fmt.Errorf("exp: checker rejected a correct reduction (n=%d)", n)
 			}

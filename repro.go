@@ -37,6 +37,13 @@
 // (data volumes, checker bytes, wall times, verdict) retrievable from
 // the Context.
 //
+// For data that never fits in memory at once, Context.StreamPairs and
+// Context.StreamSeq verify operations over chunked sources (slice-,
+// channel-, or generator-backed; see PairSource): the checker partial
+// accumulates chunk by chunk with only one chunk resident, sealed
+// states are bit-identical to the one-shot path, and CheckStats
+// reports chunk counts and the peak resident footprint.
+//
 // The former top-level operations (ReduceByKeyChecked and friends)
 // remain as deprecated thin wrappers over an eager Context.
 //
