@@ -94,10 +94,12 @@ experiments:
   permoverhead  permutation checker local overhead (paper Sec. 7.2)
   commvolume    bottleneck communication volume audit (Sec. 1 claim)
   modeled       alpha-beta-model comm makespans up to p=4096 (Sec. 2 model)
-  bench         local accumulation engine (scalar vs batch vs parallel)
-                and the TCP transport codec comparison (gob vs framed),
-                plus the streaming throughput sweep, optionally emitting
-                a JSON artifact (-out bench.json)
+  bench         local accumulation engine (scalar vs batch vs parallel),
+                the TCP transport codec comparison (gob vs framed), the
+                streaming throughput sweep, and the verification-policy
+                makespan benchmark (eager vs deferred vs overlapped);
+                -out bench.json writes the artifact, -baseline prev.json
+                diffs against a committed baseline (warns on >10%)
   stream        streaming checked operations: chunked accumulate/merge/
                 seal residue cost vs one-shot across chunk sizes
                 (-chunk 65536 or -chunks 1024,8192,65536)
@@ -253,6 +255,7 @@ func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	opt := exp.DefaultLocalBenchOptions()
 	netOpt := exp.DefaultNetBenchOptions()
+	ovOpt := exp.DefaultOverlapBenchOptions()
 	fs.IntVar(&opt.Elements, "elements", opt.Elements, "elements per loop")
 	fs.IntVar(&opt.Repeats, "repeats", opt.Repeats, "repetitions, fastest wins")
 	fs.Uint64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
@@ -260,9 +263,16 @@ func runBench(args []string) error {
 	workers := fs.String("workers", "", "comma-separated parallel worker counts (default 2..GOMAXPROCS doubling)")
 	withNet := fs.Bool("net", true, "include the TCP allreduce codec benchmark (gob baseline vs framed)")
 	withStream := fs.Bool("stream", true, "include the streaming chunked-vs-oneshot throughput sweep")
+	withOverlap := fs.Bool("overlap", true, "include the verification-policy makespan benchmark (eager vs deferred vs overlapped)")
 	fs.IntVar(&netOpt.P, "net-pes", netOpt.P, "PEs in the TCP benchmark mesh")
 	fs.IntVar(&netOpt.Words, "net-words", netOpt.Words, "words per PE per benchmarked allreduce")
 	fs.IntVar(&netOpt.Rounds, "net-rounds", netOpt.Rounds, "allreduces per TCP benchmark repetition")
+	fs.IntVar(&ovOpt.P, "overlap-pes", ovOpt.P, "PEs in the overlap benchmark mesh")
+	fs.IntVar(&ovOpt.Stages, "overlap-stages", ovOpt.Stages, "checked pipeline stages in the overlap benchmark")
+	fs.IntVar(&ovOpt.Elements, "overlap-elements", ovOpt.Elements, "pairs per PE per stage in the overlap benchmark")
+	fs.DurationVar(&ovOpt.WireLatency, "overlap-latency", ovOpt.WireLatency,
+		"emulated interconnect latency per message in the overlap benchmark (0 = raw loopback)")
+	baseline := fs.String("baseline", "", "diff the fresh rows against this committed bench JSON (trajectory mode)")
 	out := fs.String("out", "", "write the rows as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -308,20 +318,38 @@ func runBench(args []string) error {
 		fmt.Println()
 		fmt.Print(exp.RenderStreamBench(streamRows))
 	}
+	var overlapRows []exp.OverlapBenchRow
+	if *withOverlap {
+		// Repeats stay at the overlap default: single-machine makespans
+		// are noisy and the mode comparison needs best-of-N to converge.
+		ovOpt.Seed = opt.Seed
+		ovOpt.Sum = exp.DefaultOverlapBenchOptions().Sum // deliberately large table; -sum tunes the local bench
+		overlapRows, err = exp.OverlapBench(ovOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderOverlapBench(overlapRows))
+	}
+	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows}
+	if *baseline != "" {
+		base, err := exp.ReadBenchArtifact(*baseline)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderBenchDiff(exp.DiffBench(base, artifact)))
+	}
 	if *out != "" {
-		blob, err := json.MarshalIndent(struct {
-			Local  []exp.LocalBenchRow  `json:"local"`
-			Net    []exp.NetBenchRow    `json:"net"`
-			Stream []exp.StreamBenchRow `json:"stream"`
-		}{rows, netRows, streamRows}, "", "  ")
+		blob, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d local, %d net, and %d stream rows to %s\n",
-			len(rows), len(netRows), len(streamRows), *out)
+		fmt.Printf("\nwrote %d local, %d net, %d stream, and %d overlap rows to %s\n",
+			len(rows), len(netRows), len(streamRows), len(overlapRows), *out)
 	}
 	return nil
 }

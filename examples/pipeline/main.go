@@ -1,8 +1,10 @@
 // Pipeline: a multi-stage analytics job — zip two metric streams,
 // aggregate averages, medians and minima per sensor — expressed on the
-// Context/Dataset API with deferred verification: every stage registers
-// its checker, and a single ctx.Verify() resolves all of them in one
-// batched collective round. Runs over real TCP sockets to show the
+// Context/Dataset API with deferred, overlapped verification: every
+// stage registers its checker, a mid-pipeline ctx.VerifyAsync() puts
+// the first stages' batched resolution on the wire while the later
+// stages compute, and the final ctx.Verify() resolves the rest and
+// settles the in-flight round. Runs over real TCP sockets to show the
 // framework is transport agnostic, and prints the per-stage stats the
 // Context records.
 package main
@@ -69,6 +71,14 @@ func main() {
 			return err
 		}
 
+		// Zip and average are done computing: launch their checkers'
+		// batched resolution asynchronously. The reduction rides the
+		// TCP sockets on a tag-safe sub-communicator while the median
+		// and minimum stages compute; the final Verify awaits it.
+		if err := ctx.VerifyAsync(); err != nil {
+			return err
+		}
+
 		// Stage 3: per-sensor median (tie certificates, Theorem 10 —
 		// readings repeat, so ties are everywhere).
 		medians, err := zipped.MedianByKey()
@@ -83,7 +93,8 @@ func main() {
 			return err
 		}
 
-		// One batched round resolves all four checkers.
+		// One batched round resolves the remaining checkers; the
+		// overlapped round launched above is awaited here too.
 		if err := ctx.Verify(); err != nil {
 			return err
 		}

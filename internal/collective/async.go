@@ -1,0 +1,80 @@
+package collective
+
+import "fmt"
+
+// Nonblocking collectives: each I-variant carves a fresh sub-communicator,
+// runs the blocking collective on it in a goroutine, and returns a
+// Pending handle. The caller's communicator stays free for further
+// collectives while the operation is on the wire — the overlap the
+// paper's "checking runs concurrently with the checked operation"
+// framing asks for. Like every collective, all PEs must start the same
+// nonblocking operation at the same point of their program; each PE may
+// await its handle whenever it likes (the matching is by tag block, not
+// by program order).
+//
+// First-error propagation: the worker goroutine's error — including a
+// recovered panic — is stored in the handle and returned by Await. The
+// goroutine holds no locks and exits as soon as the collective finishes
+// or its transport fails, so a run torn down by dist's first-error
+// close leaks nothing: pending workers fail fast with comm.ErrClosed
+// and exit.
+
+// Pending is an in-flight nonblocking collective. Await blocks until
+// completion and is idempotent; Done supports select-based polling.
+type Pending[T any] struct {
+	sub  *Comm
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Done is closed when the operation has completed (successfully or not).
+func (p *Pending[T]) Done() <-chan struct{} { return p.done }
+
+// Await blocks until the operation completes and returns its result.
+// It may be called any number of times, from any goroutine.
+func (p *Pending[T]) Await() (T, error) {
+	<-p.done
+	return p.val, p.err
+}
+
+// Comm returns the dedicated sub-communicator the operation ran on,
+// e.g. to meter the traffic it cost (after Done).
+func (p *Pending[T]) Comm() *Comm { return p.sub }
+
+// start runs f on a fresh sub-communicator in a worker goroutine.
+func start[T any](c *Comm, f func(sub *Comm) (T, error)) *Pending[T] {
+	p := &Pending[T]{sub: c.Sub(), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		defer func() {
+			if v := recover(); v != nil {
+				p.err = fmt.Errorf("collective: nonblocking collective panicked: %v", v)
+			}
+		}()
+		p.val, p.err = f(p.sub)
+	}()
+	return p
+}
+
+// IAllReduce starts a nonblocking AllReduce of words under op. words
+// must not be mutated until the handle completes.
+func (c *Comm) IAllReduce(words []uint64, op ReduceOp) *Pending[[]uint64] {
+	return start(c, func(sub *Comm) ([]uint64, error) {
+		return sub.AllReduce(words, op)
+	})
+}
+
+// IBroadcast starts a nonblocking Broadcast of root's words.
+func (c *Comm) IBroadcast(root int, words []uint64) *Pending[[]uint64] {
+	return start(c, func(sub *Comm) ([]uint64, error) {
+		return sub.Broadcast(root, words)
+	})
+}
+
+// IGather starts a nonblocking Gather of every PE's words at root.
+func (c *Comm) IGather(root int, words []uint64) *Pending[[][]uint64] {
+	return start(c, func(sub *Comm) ([][]uint64, error) {
+		return sub.Gather(root, words)
+	})
+}

@@ -1,0 +1,286 @@
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// asyncNetworks builds each transport at size p; the returned cleanup
+// closes it. TCP may be unavailable in sandboxed environments — the
+// builder returns an error and the subtest skips.
+func asyncNetworks(p int) []struct {
+	name string
+	mk   func() (comm.Network, error)
+} {
+	return []struct {
+		name string
+		mk   func() (comm.Network, error)
+	}{
+		{"mem", func() (comm.Network, error) { return comm.NewMemNetwork(p), nil }},
+		{"simnet", func() (comm.Network, error) { return comm.NewSimNetwork(p, 1000, 1), nil }},
+		{"tcp", func() (comm.Network, error) { return comm.NewTCPNetwork(p) }},
+	}
+}
+
+// runNet mirrors runSPMD over an arbitrary network.
+func runNet(t *testing.T, net comm.Network, body func(c *Comm) error) {
+	t.Helper()
+	p := net.Size()
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = body(New(net.Endpoint(r)))
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("PE %d: %v", r, err)
+		}
+	}
+}
+
+// TestSubConcurrentCollectives runs two collectives concurrently on
+// independent sub-communicators of one endpoint, across all three
+// transports, and checks both produce exactly the synchronous results.
+// Run with -race: this is the tag-safety satellite.
+func TestSubConcurrentCollectives(t *testing.T) {
+	const p = 4
+	for _, tc := range asyncNetworks(p) {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := tc.mk()
+			if err != nil {
+				t.Skipf("transport unavailable: %v", err)
+			}
+			defer net.Close()
+			runNet(t, net, func(c *Comm) error {
+				// SPMD-ordered Sub calls: every PE derives the same two blocks.
+				s1, s2 := c.Sub(), c.Sub()
+				rank := uint64(c.Rank())
+				var wg sync.WaitGroup
+				var err1, err2 error
+				var sum []uint64
+				var parts [][]uint64
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					sum, err1 = s1.AllReduce([]uint64{rank + 1, rank * rank}, OpSum)
+				}()
+				go func() {
+					defer wg.Done()
+					parts, err2 = s2.AllGather([]uint64{rank * 10})
+				}()
+				wg.Wait()
+				if err1 != nil {
+					return fmt.Errorf("sub1 allreduce: %w", err1)
+				}
+				if err2 != nil {
+					return fmt.Errorf("sub2 allgather: %w", err2)
+				}
+				if want := uint64(p * (p + 1) / 2); sum[0] != want {
+					return fmt.Errorf("allreduce sum = %d, want %d", sum[0], want)
+				}
+				if want := uint64(0 + 1 + 4 + 9); sum[1] != want {
+					return fmt.Errorf("allreduce squares = %d, want %d", sum[1], want)
+				}
+				for r := 0; r < p; r++ {
+					if len(parts[r]) != 1 || parts[r][0] != uint64(r*10) {
+						return fmt.Errorf("allgather part %d = %v", r, parts[r])
+					}
+				}
+				// The parent communicator stayed usable throughout.
+				ok, err := c.AllAgree(true)
+				if err != nil || !ok {
+					return fmt.Errorf("parent AllAgree after concurrent subs: %v %v", ok, err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestIAllReduceMatchesBlocking checks a nonblocking all-reduction is
+// bit-identical to the blocking one, while the parent communicator
+// keeps working between start and await.
+func TestIAllReduceMatchesBlocking(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		runSPMD(t, p, func(c *Comm) error {
+			words := make([]uint64, 257)
+			for i := range words {
+				words[i] = uint64(c.Rank()+1) * uint64(i+1)
+			}
+			pend := c.IAllReduce(words, OpSum)
+			// Overlapped traffic on the parent while the async op flies.
+			if _, err := c.Barrier(), error(nil); err != nil {
+				return err
+			}
+			got, err := pend.Await()
+			if err != nil {
+				return err
+			}
+			want, err := c.AllReduce(words, OpSum)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("word %d: async %d vs blocking %d", i, got[i], want[i])
+				}
+			}
+			if pend.Comm().BytesSent() < 0 {
+				return errors.New("negative metering")
+			}
+			return nil
+		})
+	}
+}
+
+// TestIBroadcastIGather exercises the remaining nonblocking collectives
+// concurrently with each other.
+func TestIBroadcastIGather(t *testing.T) {
+	const p = 5
+	runSPMD(t, p, func(c *Comm) error {
+		var bcast []uint64
+		if c.Rank() == 2 {
+			bcast = []uint64{7, 8, 9}
+		}
+		pb := c.IBroadcast(2, bcast)
+		pg := c.IGather(0, []uint64{uint64(c.Rank()) * 3})
+		gotB, err := pb.Await()
+		if err != nil {
+			return err
+		}
+		if len(gotB) != 3 || gotB[0] != 7 || gotB[2] != 9 {
+			return fmt.Errorf("IBroadcast = %v", gotB)
+		}
+		gotG, err := pg.Await()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			var vals []int
+			for _, part := range gotG {
+				vals = append(vals, int(part[0]))
+			}
+			sort.Ints(vals)
+			for i, v := range vals {
+				if v != i*3 {
+					return fmt.Errorf("IGather parts = %v", gotG)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestAsyncFirstErrorTeardown injects a hard receive fault into one of
+// two concurrent collectives and checks the failure (a) surfaces on the
+// faulted handle, (b) does not deadlock the sibling collective once the
+// network is torn down, mirroring dist's first-error semantics. The
+// whole dance is bounded by the network timeout; we require it to
+// finish far sooner.
+func TestAsyncFirstErrorTeardown(t *testing.T) {
+	const p = 4
+	inner := comm.NewMemNetworkTimeout(p, time.Minute)
+	net := comm.NewFaultyNetworkRecvErr(inner, 3)
+	defer net.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p2 := p
+		var wg sync.WaitGroup
+		for r := 0; r < p2; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := New(net.Endpoint(r))
+				pend1 := c.IAllReduce([]uint64{uint64(r)}, OpSum)
+				pend2 := c.IAllReduce([]uint64{uint64(r) * 7}, OpSum)
+				// First-error teardown, as dist does it: the moment either
+				// in-flight collective fails, close the network so every
+				// sibling unblocks (with ErrClosed or the same fault)
+				// instead of waiting for messages that will never come.
+				var aw sync.WaitGroup
+				for _, pend := range []*Pending[[]uint64]{pend1, pend2} {
+					pend := pend
+					aw.Add(1)
+					go func() {
+						defer aw.Done()
+						if _, err := pend.Await(); err != nil {
+							net.Close()
+						}
+					}()
+				}
+				aw.Wait()
+			}()
+		}
+		wg.Wait()
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("teardown deadlocked: sibling collective never unblocked")
+	}
+	if !net.DidInject() {
+		t.Fatal("fault was never injected")
+	}
+}
+
+// TestTagAllocationRace hammers tag reservation from many goroutines
+// and checks every allocated block is distinct and non-overlapping —
+// the nextTag/nextTags concurrency-safety satellite.
+func TestTagAllocationRace(t *testing.T) {
+	net := comm.NewMemNetwork(1)
+	defer net.Close()
+	c := New(net.Endpoint(0))
+	const (
+		workers = 16
+		each    = 200
+	)
+	got := make([][]int, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wkr := wkr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				n := 1 + (i % 3)
+				base := c.nextTags(n)
+				got[wkr] = append(got[wkr], base, n)
+			}
+		}()
+	}
+	wg.Wait()
+	type span struct{ lo, hi int }
+	var spans []span
+	for _, g := range got {
+		for i := 0; i < len(g); i += 2 {
+			spans = append(spans, span{g[i], g[i] + g[i+1]})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			t.Fatalf("overlapping tag blocks: [%d,%d) and [%d,%d)", spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	// Sub blocks are distinct too.
+	s1, s2 := c.Sub(), c.Sub()
+	if s1.base == s2.base {
+		t.Fatal("two Sub calls returned the same tag block")
+	}
+}

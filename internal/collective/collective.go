@@ -9,56 +9,133 @@
 // collectives on its own Comm. An internal operation counter derives a
 // fresh tag per collective, so consecutive collectives cannot confuse
 // each other's messages.
+//
+// # Tag-space partitioning
+//
+// One endpoint's 63-bit tag space is carved into disjoint regions so
+// several logical communication streams can share the wire without a
+// message from one ever matching a receive of another:
+//
+//	[0, 1<<30)          the root communicator's collective sequence
+//	                    (one or more tags per operation, allocated by
+//	                    the atomic tag counter)
+//	[1<<30, 1<<31)      user tags: SendTagged/RecvTagged traffic, offset
+//	                    by userTagBase; shared by all communicators over
+//	                    the endpoint, so callers own disjointness there
+//	[1<<31, ...)        sub-communicator blocks of subTagSpan tags each,
+//	                    handed out by Sub in allocation order
+//
+// Sub carves the next block out of the shared space; the resulting Comm
+// runs its own collective sequence concurrently with the parent's (and
+// with other siblings'), which is what makes nonblocking collectives
+// (IAllReduce and friends) and resolve/compute overlap possible. Since
+// tags are how PEs match messages, all PEs must call Sub in the same
+// order relative to one another — the usual SPMD contract, extended to
+// communicator creation. Tag counters are atomic, so concurrent
+// collectives on *different* communicators of one endpoint are safe;
+// a single communicator still admits only one collective at a time.
 package collective
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/comm"
 )
 
-// userTagBase separates explicitly tagged point-to-point traffic from
-// the tags the collectives allocate.
-const userTagBase = 1 << 30
+const (
+	// userTagBase separates explicitly tagged point-to-point traffic
+	// from the tags the collectives allocate.
+	userTagBase = 1 << 30
+	// subTagBase is where sub-communicator tag blocks begin.
+	subTagBase int64 = 1 << 31
+	// subTagSpan is the tag-block width of one sub-communicator: room
+	// for millions of collective operations, far beyond any round's
+	// needs, while permitting billions of sub-communicators.
+	subTagSpan int64 = 1 << 24
+)
 
-// Comm wraps an endpoint with collective operations.
+// Comm wraps an endpoint with collective operations over its own tag
+// block. The root communicator (New) owns the collective region of the
+// tag space; Sub derives communicators with disjoint blocks that may
+// run concurrently with it. A Comm must not be copied.
 type Comm struct {
-	ep  comm.Endpoint
-	tag int
-	ops int
+	mux *comm.Mux
+
+	// base and limit bound this communicator's tag block.
+	base, limit int64
+	// tag is the next unallocated offset within the block. Atomic:
+	// nonblocking collectives allocate tags from worker goroutines
+	// while the PE's main goroutine keeps issuing collectives.
+	tag atomic.Int64
+	ops atomic.Int64
+
+	// subs counts sub-communicators carved from this endpoint's space,
+	// shared by the root and all its subs.
+	subs *atomic.Int64
+
+	// bytesSent/msgsSent meter traffic sent through this communicator
+	// alone — unlike endpoint metrics, unpolluted by concurrent
+	// streams, so an async round can report its own exact cost.
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
 }
 
-// New returns a collective communicator over ep.
-func New(ep comm.Endpoint) *Comm { return &Comm{ep: ep} }
+// New returns the root collective communicator over ep. All receiving
+// on ep is routed through one demultiplexer from here on; the endpoint
+// must not be used for direct receives anymore.
+func New(ep comm.Endpoint) *Comm {
+	return &Comm{mux: comm.NewMux(ep), base: 0, limit: userTagBase, subs: new(atomic.Int64)}
+}
 
 // Rank returns this PE's rank.
-func (c *Comm) Rank() int { return c.ep.Rank() }
+func (c *Comm) Rank() int { return c.mux.Endpoint().Rank() }
 
 // Size returns the number of PEs.
-func (c *Comm) Size() int { return c.ep.Size() }
+func (c *Comm) Size() int { return c.mux.Endpoint().Size() }
 
 // Endpoint exposes the underlying endpoint.
-func (c *Comm) Endpoint() comm.Endpoint { return c.ep }
+func (c *Comm) Endpoint() comm.Endpoint { return c.mux.Endpoint() }
+
+// Sub carves the next sub-communicator out of this endpoint's tag
+// space: a Comm over the same endpoint whose collectives use a disjoint
+// tag block and may therefore be in flight concurrently with the
+// parent's (and with other subs'). Like any collective, all PEs must
+// call Sub at the same point of their program so ranks agree on the
+// block; the allocation itself is atomic and may race with collectives
+// on other communicators. Sub-communicators need no teardown.
+func (c *Comm) Sub() *Comm {
+	n := c.subs.Add(1) - 1
+	base := subTagBase + n*subTagSpan
+	return &Comm{mux: c.mux, base: base, limit: base + subTagSpan, subs: c.subs}
+}
+
+// BytesSent returns how many payload bytes this communicator has sent
+// (this communicator only, not the whole endpoint).
+func (c *Comm) BytesSent() int64 { return c.bytesSent.Load() }
+
+// MsgsSent returns how many messages this communicator has sent.
+func (c *Comm) MsgsSent() int64 { return c.msgsSent.Load() }
 
 // nextTag allocates the tag for the next collective operation. Because
 // every PE executes the same collective sequence, counters stay aligned
 // across PEs without communication.
 func (c *Comm) nextTag() int {
-	t := c.tag
-	c.tag++
-	c.ops++
-	return t
+	return c.nextTags(1)
 }
 
 // nextTags reserves a contiguous block of n tags for multi-round
 // collectives (scan, barrier), one tag per round, so rounds of the same
 // operation cannot be confused with each other or with later operations.
 func (c *Comm) nextTags(n int) int {
-	t := c.tag
-	c.tag += n
-	c.ops++
-	return t
+	off := c.tag.Add(int64(n)) - int64(n)
+	t := c.base + off
+	if t+int64(n) > c.limit {
+		panic(fmt.Sprintf("collective: tag block [%d, %d) exhausted", c.base, c.limit))
+	}
+	c.ops.Add(1)
+	return int(t)
 }
 
 // OpsStarted returns how many collective operations this communicator
@@ -66,7 +143,24 @@ func (c *Comm) nextTags(n int) int {
 // Reduce plus a Broadcast, so it counts as two). Harnesses compare
 // deltas of this counter to quantify how many collective rounds a code
 // region cost — e.g. eager versus deferred checker resolution.
-func (c *Comm) OpsStarted() int { return c.ops }
+func (c *Comm) OpsStarted() int { return int(c.ops.Load()) }
+
+// send transmits through the demultiplexed endpoint and meters the
+// traffic against this communicator.
+func (c *Comm) send(dst, tag int, payload []byte) error {
+	if err := c.mux.Send(dst, tag, payload); err != nil {
+		return err
+	}
+	c.bytesSent.Add(int64(len(payload)))
+	c.msgsSent.Add(1)
+	return nil
+}
+
+// recv receives through the demultiplexer, which routes concurrent
+// streams on one endpoint by (src, tag).
+func (c *Comm) recv(src, tag int) ([]byte, error) {
+	return c.mux.Recv(src, tag)
+}
 
 // U64sToBytes encodes words little-endian, 8 bytes per word.
 func U64sToBytes(words []uint64) []byte {
@@ -90,11 +184,11 @@ func BytesToU64s(buf []byte) ([]uint64, error) {
 }
 
 func (c *Comm) sendU64s(dst, tag int, words []uint64) error {
-	return c.ep.Send(dst, tag, U64sToBytes(words))
+	return c.send(dst, tag, U64sToBytes(words))
 }
 
 func (c *Comm) recvU64s(src, tag int) ([]uint64, error) {
-	buf, err := c.ep.Recv(src, tag)
+	buf, err := c.recv(src, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -427,10 +521,10 @@ func (c *Comm) Barrier() error {
 		round++
 		dst := (rank + d) % p
 		src := (rank - d + p) % p
-		if err := c.ep.Send(dst, roundTag, nil); err != nil {
+		if err := c.send(dst, roundTag, nil); err != nil {
 			return err
 		}
-		if _, err := c.ep.Recv(src, roundTag); err != nil {
+		if _, err := c.recv(src, roundTag); err != nil {
 			return err
 		}
 	}
@@ -451,10 +545,10 @@ func (c *Comm) AllToAllBytes(parts [][]byte) ([][]byte, error) {
 	for offset := 1; offset < p; offset++ {
 		dst := (rank + offset) % p
 		src := (rank - offset + p) % p
-		if err := c.ep.Send(dst, tag, parts[dst]); err != nil {
+		if err := c.send(dst, tag, parts[dst]); err != nil {
 			return nil, err
 		}
-		got, err := c.ep.Recv(src, tag)
+		got, err := c.recv(src, tag)
 		if err != nil {
 			return nil, err
 		}

@@ -59,12 +59,25 @@ type Message struct {
 	Src     int
 	Tag     int
 	Payload []byte
+
+	// onMatch, when set by a transport's RecvAny, runs once when the
+	// demultiplexer hands the message to its matched receiver. It
+	// defers per-message bookkeeping that must not happen at pull time
+	// — e.g. simnet observes a message's modeled arrival time only when
+	// the receive completes, not when the message is parked. Unexported
+	// so the wire codecs never see it.
+	onMatch func()
 }
 
 // Endpoint is one PE's port into the network. Endpoints follow the
 // paper's machine model: single-ported, full-duplex; matching sends and
-// receives between a pair of PEs are delivered in FIFO order. An
-// Endpoint may only be used by one goroutine at a time (the PE itself).
+// receives between a pair of PEs are delivered in FIFO order.
+//
+// Concurrency: Send may be called from multiple goroutines. Recv and
+// RecvAny share one unsynchronized match buffer, so at most one
+// goroutine may be receiving at a time; concurrent receivers on one
+// endpoint must go through a Mux, which serializes the pulls and
+// demultiplexes messages by (src, tag).
 type Endpoint interface {
 	// Rank is this PE's number in 0..Size()-1.
 	Rank() int
@@ -77,6 +90,10 @@ type Endpoint interface {
 	// available and returns its payload. Messages from other sources or
 	// with other tags are queued, not lost.
 	Recv(src, tag int) ([]byte, error)
+	// RecvAny blocks until any message addressed to this endpoint is
+	// available and returns it, earliest queued first. It is the pull
+	// primitive beneath the Mux: the caller routes the message itself.
+	RecvAny() (Message, error)
 	// Metrics returns this endpoint's live counters.
 	Metrics() *Metrics
 }

@@ -1,12 +1,22 @@
 package comm
 
-import "sync/atomic"
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the synthetic receive failure a FaultyNetwork built
+// with NewFaultyNetworkRecvErr reports on its target message — a hard
+// transport fault (link down, peer crash) rather than a soft error.
+var ErrInjected = errors.New("comm: injected receive fault")
 
 // FaultyNetwork wraps a network and flips one bit in the payload of a
 // chosen message — a transport-level soft error, the failure class
 // motivating the paper ("spontaneous bitflips in memory ... caused for
 // example by cosmic rays", Section 1). Checkers must catch corruption
 // that happens while data is in flight, not only in final outputs.
+// Alternatively (NewFaultyNetworkRecvErr) it fails the chosen receive
+// outright, for exercising first-error teardown paths.
 type FaultyNetwork struct {
 	inner Network
 	eps   []*faultyEndpoint
@@ -16,6 +26,9 @@ type FaultyNetwork struct {
 	target int64
 	// bit is the bit index to flip within the payload.
 	bit int
+	// recvErr selects hard-fault mode: the target receive returns
+	// ErrInjected instead of a corrupted payload.
+	recvErr bool
 	// Injected reports whether the fault has been placed.
 	injected atomic.Bool
 }
@@ -33,6 +46,16 @@ func NewFaultyNetwork(inner Network, target int64, bit int) *FaultyNetwork {
 	for i := range n.eps {
 		n.eps[i] = &faultyEndpoint{net: n, inner: inner.Endpoint(i)}
 	}
+	return n
+}
+
+// NewFaultyNetworkRecvErr wraps inner, failing the `target`-th non-empty
+// receive anywhere in the network (1-based) with ErrInjected. The
+// message itself is consumed, modeling a hard transport fault rather
+// than silent corruption.
+func NewFaultyNetworkRecvErr(inner Network, target int64) *FaultyNetwork {
+	n := NewFaultyNetwork(inner, target, 0)
+	n.recvErr = true
 	return n
 }
 
@@ -57,18 +80,43 @@ func (e *faultyEndpoint) Send(dst, tag int, payload []byte) error {
 	return e.inner.Send(dst, tag, payload)
 }
 
+// afterRecv applies the configured fault to a just-received payload:
+// a bit flip in-place, or a synthetic receive error.
+func (e *faultyEndpoint) afterRecv(payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	seq := e.net.counter.Add(1)
+	if seq != e.net.target {
+		return nil
+	}
+	e.net.injected.Store(true)
+	if e.net.recvErr {
+		return ErrInjected
+	}
+	bit := e.net.bit % (8 * len(payload))
+	payload[bit/8] ^= 1 << (bit % 8)
+	return nil
+}
+
 func (e *faultyEndpoint) Recv(src, tag int) ([]byte, error) {
 	payload, err := e.inner.Recv(src, tag)
 	if err != nil {
 		return nil, err
 	}
-	if len(payload) > 0 {
-		seq := e.net.counter.Add(1)
-		if seq == e.net.target {
-			bit := e.net.bit % (8 * len(payload))
-			payload[bit/8] ^= 1 << (bit % 8)
-			e.net.injected.Store(true)
-		}
+	if err := e.afterRecv(payload); err != nil {
+		return nil, err
 	}
 	return payload, nil
+}
+
+func (e *faultyEndpoint) RecvAny() (Message, error) {
+	m, err := e.inner.RecvAny()
+	if err != nil {
+		return Message{}, err
+	}
+	if err := e.afterRecv(m.Payload); err != nil {
+		return Message{}, err
+	}
+	return m, nil
 }

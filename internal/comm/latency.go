@@ -1,0 +1,61 @@
+package comm
+
+import "time"
+
+// LatencyNetwork wraps a network and delays every message delivery by
+// a fixed interval — emulating a cluster interconnect's wire latency
+// on transports that have none (loopback TCP, in-memory channels). The
+// delay is pure wait, not CPU: a goroutine blocked in a delayed
+// receive yields the processor, exactly like one parked on a NIC
+// completion. That makes the wrapper the honest substrate for
+// measuring compute/communication overlap on a single machine, where
+// loopback "latency" is otherwise all memcpy and syscall time that
+// competes with the compute it is supposed to hide behind.
+type LatencyNetwork struct {
+	inner Network
+	eps   []*latencyEndpoint
+}
+
+type latencyEndpoint struct {
+	inner Endpoint
+	d     time.Duration
+}
+
+// NewLatencyNetwork wraps inner, delivering every received message d
+// later than the underlying transport would.
+func NewLatencyNetwork(inner Network, d time.Duration) *LatencyNetwork {
+	n := &LatencyNetwork{inner: inner}
+	n.eps = make([]*latencyEndpoint, inner.Size())
+	for i := range n.eps {
+		n.eps[i] = &latencyEndpoint{inner: inner.Endpoint(i), d: d}
+	}
+	return n
+}
+
+func (n *LatencyNetwork) Size() int                  { return n.inner.Size() }
+func (n *LatencyNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
+func (n *LatencyNetwork) Close() error               { return n.inner.Close() }
+
+func (e *latencyEndpoint) Rank() int         { return e.inner.Rank() }
+func (e *latencyEndpoint) Size() int         { return e.inner.Size() }
+func (e *latencyEndpoint) Metrics() *Metrics { return e.inner.Metrics() }
+
+func (e *latencyEndpoint) Send(dst, tag int, payload []byte) error {
+	return e.inner.Send(dst, tag, payload)
+}
+
+func (e *latencyEndpoint) Recv(src, tag int) ([]byte, error) {
+	p, err := e.inner.Recv(src, tag)
+	if err == nil {
+		time.Sleep(e.d)
+	}
+	return p, err
+}
+
+func (e *latencyEndpoint) RecvAny() (Message, error) {
+	m, err := e.inner.RecvAny()
+	if err == nil {
+		time.Sleep(e.d)
+	}
+	return m, err
+}

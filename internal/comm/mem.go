@@ -128,3 +128,25 @@ func (e *memEndpoint) Recv(src, tag int) ([]byte, error) {
 		}
 	}
 }
+
+func (e *memEndpoint) RecvAny() (Message, error) {
+	// Oldest parked message first, so per-(src,tag) FIFO order survives
+	// interleaving with tag-matched Recv calls.
+	if len(e.pending) > 0 {
+		m := e.pending[0]
+		e.pending = e.pending[1:]
+		e.metrics.addRecv(len(m.Payload))
+		return m, nil
+	}
+	deadline, stop := opDeadline(e.net.timeout)
+	defer stop()
+	select {
+	case m := <-e.inbox:
+		e.metrics.addRecv(len(m.Payload))
+		return m, nil
+	case <-e.net.closed:
+		return Message{}, ErrClosed
+	case <-deadline:
+		return Message{}, fmt.Errorf("comm: PE %d recv (any): timeout after %v; likely deadlock", e.rank, e.net.timeout)
+	}
+}

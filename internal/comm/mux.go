@@ -1,0 +1,118 @@
+package comm
+
+import "sync"
+
+// Mux demultiplexes one Endpoint among concurrent receivers, the
+// mechanism that lets several collectives be in flight on one PE at
+// once (tag-safe sub-communicators). Transports match messages with a
+// single unsynchronized buffer per endpoint, so two goroutines calling
+// Recv directly would race and — worse — park each other's messages
+// where the other can never see them. The Mux owns all receiving on the
+// endpoint and routes by (src, tag).
+//
+// It is a collaborative pull: there is no resident pump goroutine.
+// Whichever waiter finds neither a queued message for its key nor an
+// active puller becomes the puller, draws one message via RecvAny,
+// and either keeps it (its own key) or queues it and wakes the others.
+// A Mux therefore costs nothing when abandoned — no goroutine to stop,
+// no lifecycle to manage across reuses of a network — and receives
+// degrade to a single cheap pull per message when only one collective
+// is active, the common case.
+//
+// An error from the underlying endpoint poisons the Mux: every current
+// and future receive reports it. That matches the runtime's failure
+// semantics — a network that carried a failed run must not be reused —
+// and guarantees that one in-flight collective failing wakes the
+// others instead of deadlocking them.
+type Mux struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[muxKey][]Message
+	pulling bool
+	err     error
+}
+
+type muxKey struct{ src, tag int }
+
+// NewMux wraps ep. All receiving on ep must go through the returned
+// Mux from then on; sends may keep using ep directly (transports
+// serialize sends internally).
+func NewMux(ep Endpoint) *Mux {
+	m := &Mux{ep: ep, queues: make(map[muxKey][]Message)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Endpoint returns the wrapped endpoint.
+func (m *Mux) Endpoint() Endpoint { return m.ep }
+
+// Send passes through to the endpoint (present so callers can treat
+// the Mux as their whole transport handle).
+func (m *Mux) Send(dst, tag int, payload []byte) error {
+	return m.ep.Send(dst, tag, payload)
+}
+
+// Recv blocks until a message from src with the given tag is available
+// and returns its payload. Safe for any number of concurrent callers;
+// per-(src,tag) FIFO order is preserved. Callers must not have two
+// concurrent receives for the same (src, tag) — tag disjointness is
+// exactly what sub-communicators provide.
+func (m *Mux) Recv(src, tag int) ([]byte, error) {
+	key := muxKey{src, tag}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if q := m.queues[key]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(m.queues, key)
+			} else {
+				m.queues[key] = q[1:]
+			}
+			return deliver(msg), nil
+		}
+		if m.pulling {
+			// Someone else is at the endpoint; it will queue our message
+			// or vacate the puller slot. Either way we get woken.
+			m.cond.Wait()
+			continue
+		}
+		m.pulling = true
+		m.mu.Unlock()
+		msg, err := m.ep.RecvAny()
+		m.mu.Lock()
+		m.pulling = false
+		if err != nil {
+			// Poison: a transport error (closure, timeout, injected
+			// fault) must fail every receiver, not just the puller.
+			m.err = err
+			m.cond.Broadcast()
+			return nil, err
+		}
+		if msg.Src == src && msg.Tag == tag {
+			// Our own message, and the key's queue was empty when we
+			// started pulling (only the single active puller enqueues,
+			// so it still is): return it directly, and wake the others
+			// so one of them takes over pulling.
+			m.cond.Broadcast()
+			return deliver(msg), nil
+		}
+		m.queues[muxKey{msg.Src, msg.Tag}] = append(m.queues[muxKey{msg.Src, msg.Tag}], msg)
+		m.cond.Broadcast()
+	}
+}
+
+// deliver completes a matched message: deferred transport bookkeeping
+// (e.g. simnet's arrival observation) fires now, at receive-completion
+// time.
+func deliver(msg Message) []byte {
+	if msg.onMatch != nil {
+		msg.onMatch()
+	}
+	return msg.Payload
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -30,7 +31,35 @@ type SimNetwork struct {
 type simEndpoint struct {
 	net   *SimNetwork
 	inner Endpoint
-	clock float64 // virtual nanoseconds; owned by the PE's goroutine
+	mu    sync.Mutex
+	clock float64 // virtual nanoseconds; mu-protected — concurrent
+	// collectives on sub-communicators send and receive from several
+	// goroutines of the same PE, and each advances the clock
+}
+
+// advance adds a communication cost to the clock and returns the new
+// value (the modeled departure-plus-transfer time of a send).
+func (e *simEndpoint) advance(ns float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock += ns
+	return e.clock
+}
+
+// observe raises the clock to a modeled arrival time (receives complete
+// no earlier than the sender's departure-plus-transfer time).
+func (e *simEndpoint) observe(arrival float64) {
+	e.mu.Lock()
+	if arrival > e.clock {
+		e.clock = arrival
+	}
+	e.mu.Unlock()
+}
+
+func (e *simEndpoint) clockNs() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
 }
 
 // NewSimNetwork models timing on top of an in-memory network of p PEs.
@@ -68,17 +97,16 @@ func (n *SimNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
 func (n *SimNetwork) Close() error { return n.inner.Close() }
 
 // VirtualTimeNs returns rank's virtual clock. Only meaningful after the
-// SPMD body has finished (the clock is owned by the PE goroutine while
-// running).
-func (n *SimNetwork) VirtualTimeNs(rank int) float64 { return n.eps[rank].clock }
+// SPMD body has finished.
+func (n *SimNetwork) VirtualTimeNs(rank int) float64 { return n.eps[rank].clockNs() }
 
 // MakespanNs returns the maximum virtual clock over all PEs — the
 // modeled completion time of the communication schedule.
 func (n *SimNetwork) MakespanNs() float64 {
 	var max float64
 	for _, ep := range n.eps {
-		if ep.clock > max {
-			max = ep.clock
+		if c := ep.clockNs(); c > max {
+			max = c
 		}
 	}
 	return max
@@ -87,15 +115,16 @@ func (n *SimNetwork) MakespanNs() float64 {
 // ResetClocks zeroes all virtual clocks (for multi-phase measurements).
 func (n *SimNetwork) ResetClocks() {
 	for _, ep := range n.eps {
+		ep.mu.Lock()
 		ep.clock = 0
+		ep.mu.Unlock()
 	}
 }
 
 // AdvanceClock adds local-computation time to rank's clock, letting
-// harnesses blend measured local work into the model. Must only be
-// called from the PE's own goroutine.
+// harnesses blend measured local work into the model.
 func (n *SimNetwork) AdvanceClock(rank int, ns float64) {
-	n.eps[rank].clock += ns
+	n.eps[rank].advance(ns)
 }
 
 func (e *simEndpoint) Rank() int         { return e.inner.Rank() }
@@ -109,11 +138,21 @@ func (e *simEndpoint) Send(dst, tag int, payload []byte) error {
 	// Single-ported: the sender is busy for alpha + beta*m, after which
 	// the message has fully arrived (telephone model).
 	cost := e.net.AlphaNs + e.net.BetaNsPerByte*float64(len(payload))
-	e.clock += cost
+	departure := e.advance(cost)
 	buf := make([]byte, simHeader+len(payload))
-	binary.LittleEndian.PutUint64(buf, math.Float64bits(e.clock))
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(departure))
 	copy(buf[simHeader:], payload)
 	return e.inner.Send(dst, tag, buf)
+}
+
+// stripHeader peels the modeled arrival time off a received buffer and
+// raises the receiver's clock to it.
+func (e *simEndpoint) stripHeader(buf []byte) ([]byte, error) {
+	if len(buf) < simHeader {
+		return nil, fmt.Errorf("comm: simnet message missing header")
+	}
+	e.observe(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+	return buf[simHeader:], nil
 }
 
 func (e *simEndpoint) Recv(src, tag int) ([]byte, error) {
@@ -121,12 +160,23 @@ func (e *simEndpoint) Recv(src, tag int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(buf) < simHeader {
-		return nil, fmt.Errorf("comm: simnet message missing header")
+	return e.stripHeader(buf)
+}
+
+func (e *simEndpoint) RecvAny() (Message, error) {
+	m, err := e.inner.RecvAny()
+	if err != nil {
+		return Message{}, err
 	}
-	arrival := math.Float64frombits(binary.LittleEndian.Uint64(buf))
-	if arrival > e.clock {
-		e.clock = arrival
+	if len(m.Payload) < simHeader {
+		return Message{}, fmt.Errorf("comm: simnet message missing header")
 	}
-	return buf[simHeader:], nil
+	arrival := math.Float64frombits(binary.LittleEndian.Uint64(m.Payload))
+	m.Payload = m.Payload[simHeader:]
+	// Observe the arrival when the message is matched, not when it is
+	// pulled: a parked future-round message must not advance the clock
+	// before the receive that consumes it actually happens, or modeled
+	// makespans inflate.
+	m.onMatch = func() { e.observe(arrival) }
+	return m, nil
 }

@@ -537,3 +537,23 @@ func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
 		}
 	}
 }
+
+func (e *tcpEndpoint) RecvAny() (Message, error) {
+	if len(e.pending) > 0 {
+		m := e.pending[0]
+		e.pending = e.pending[1:]
+		e.metrics.addRecv(len(m.Payload))
+		return m, nil
+	}
+	deadline, stop := opDeadline(e.net.timeout)
+	defer stop()
+	select {
+	case m := <-e.inbox:
+		e.metrics.addRecv(len(m.Payload))
+		return m, nil
+	case <-e.net.closed:
+		return Message{}, ErrClosed
+	case <-deadline:
+		return Message{}, fmt.Errorf("comm: PE %d recv (any): timeout after %v; likely deadlock", e.rank, e.net.timeout)
+	}
+}

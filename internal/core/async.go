@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// PendingVerdicts is an in-flight asynchronous checker resolution: the
+// batched reduce-and-broadcast of Resolve, running on a dedicated
+// sub-communicator while the caller's PE goroutine computes the next
+// stage. Await blocks until the round completes; the traffic accessors
+// report the round's own exact cost (its sub-communicator's metering,
+// unpolluted by whatever overlapped with it).
+type PendingVerdicts struct {
+	done     chan struct{}
+	verdicts []bool
+	err      error
+
+	bytes, msgs int64
+	rounds      int
+	wallNs      int64
+}
+
+// ResolveAsync starts the collective phase for the given states on a
+// fresh sub-communicator of w's endpoint and returns immediately. The
+// resolution reduces and broadcasts exactly the bytes the synchronous
+// Resolve would, so verdicts and residues are bit-identical; only the
+// wall-clock placement changes. Like every collective, all PEs must
+// start the same async resolution at the same point of their program.
+//
+// The worker goroutine propagates its first error (or recovered panic)
+// through Await and exits as soon as the round completes or its
+// transport fails; a run torn down by dist's first-error close leaks
+// no goroutines — pending resolutions fail fast with comm.ErrClosed.
+func ResolveAsync(w *dist.Worker, states ...CheckState) *PendingVerdicts {
+	p := &PendingVerdicts{done: make(chan struct{})}
+	if len(states) == 0 {
+		close(p.done)
+		return p
+	}
+	sub := w.Coll.Sub()
+	t0 := time.Now()
+	go func() {
+		defer close(p.done)
+		defer func() {
+			if v := recover(); v != nil {
+				p.err = fmt.Errorf("core: async resolve panicked: %v", v)
+			}
+			p.bytes, p.msgs = sub.BytesSent(), sub.MsgsSent()
+			p.rounds = sub.OpsStarted()
+			p.wallNs = time.Since(t0).Nanoseconds()
+		}()
+		p.verdicts, p.err = ResolveOn(sub, states...)
+	}()
+	return p
+}
+
+// Done is closed when the resolution has completed.
+func (p *PendingVerdicts) Done() <-chan struct{} { return p.done }
+
+// Await blocks until the resolution completes and returns the verdict
+// slice (aligned with the states passed to ResolveAsync, identical on
+// every PE) or the round's first error. Idempotent.
+func (p *PendingVerdicts) Await() ([]bool, error) {
+	<-p.done
+	return p.verdicts, p.err
+}
+
+// Cost reports the round's communication and wall time on this PE:
+// bytes and messages sent, collective operations started, nanoseconds
+// from launch to completion. Valid after Done.
+func (p *PendingVerdicts) Cost() (bytes, msgs int64, rounds int, wallNs int64) {
+	return p.bytes, p.msgs, p.rounds, p.wallNs
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/collective"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
@@ -59,6 +60,14 @@ type CheckState interface {
 // All PEs must call Resolve at the same point of their program with
 // states for the same stages in the same order.
 func Resolve(w *dist.Worker, states ...CheckState) ([]bool, error) {
+	return ResolveOn(w.Coll, states...)
+}
+
+// ResolveOn is Resolve over an explicit communicator. Passing a
+// tag-safe sub-communicator (collective.Comm.Sub) lets a resolution
+// round ride the wire concurrently with other traffic on the same
+// endpoint — the mechanism beneath ResolveAsync.
+func ResolveOn(c *collective.Comm, states ...CheckState) ([]bool, error) {
 	if len(states) == 0 {
 		return nil, nil
 	}
@@ -84,19 +93,19 @@ func Resolve(w *dist.Worker, states ...CheckState) ([]bool, error) {
 			dst[i] &= src[i]
 		}
 	}
-	red, err := w.Coll.Reduce(0, vec, op)
+	red, err := c.Reduce(0, vec, op)
 	if err != nil {
 		return nil, err
 	}
 	flags := make([]uint64, len(states))
-	if w.Rank() == 0 {
+	if c.Rank() == 0 {
 		for i, st := range states {
 			if red[flagBase+i] == 1 && st.Verdict(red[offsets[i]:offsets[i+1]]) {
 				flags[i] = 1
 			}
 		}
 	}
-	flags, err = w.Coll.Broadcast(0, flags)
+	flags, err = c.Broadcast(0, flags)
 	if err != nil {
 		return nil, err
 	}

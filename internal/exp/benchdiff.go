@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// BenchArtifact is the JSON document `repro bench -out` writes and
+// `repro bench -baseline` reads back: every bench family's rows under
+// one roof, so CI can diff a fresh run against the committed baseline
+// and watch the performance trajectory across PRs.
+type BenchArtifact struct {
+	Local   []LocalBenchRow   `json:"local,omitempty"`
+	Net     []NetBenchRow     `json:"net,omitempty"`
+	Stream  []StreamBenchRow  `json:"stream,omitempty"`
+	Overlap []OverlapBenchRow `json:"overlap,omitempty"`
+}
+
+// ReadBenchArtifact loads a baseline artifact from disk.
+func ReadBenchArtifact(path string) (BenchArtifact, error) {
+	var a BenchArtifact
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return a, fmt.Errorf("exp: bench baseline: %w", err)
+	}
+	if err := json.Unmarshal(blob, &a); err != nil {
+		return a, fmt.Errorf("exp: bench baseline %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// RegressionTolerance is the relative slowdown DiffBench flags: a row
+// more than 10% slower than the committed baseline gets a WARN line.
+// Single-machine wall-clock benches are noisy, so the diff warns and
+// never fails the build; the trajectory across PRs is the signal.
+const RegressionTolerance = 0.10
+
+// BenchDelta is one row's baseline-vs-current comparison. Ratio is
+// current/baseline of the row's primary metric (ns/elem, ns/op or
+// makespan — lower is better), so Ratio > 1 is a slowdown.
+type BenchDelta struct {
+	Key        string  // human-readable row identity
+	BaselineNs float64 // baseline primary metric
+	CurrentNs  float64 // current primary metric
+	Ratio      float64
+	Regressed  bool // Ratio > 1 + RegressionTolerance
+}
+
+// DiffBench matches current rows against a baseline artifact by row
+// identity — benchmark/variant/shape, never position — and reports one
+// delta per matched row. Rows present on only one side are skipped:
+// bench families come and go across PRs, and the diff tracks what is
+// comparable.
+func DiffBench(baseline, current BenchArtifact) []BenchDelta {
+	var deltas []BenchDelta
+	add := func(key string, base, cur float64) {
+		if base <= 0 || cur <= 0 {
+			return
+		}
+		ratio := cur / base
+		deltas = append(deltas, BenchDelta{
+			Key: key, BaselineNs: base, CurrentNs: cur,
+			Ratio: ratio, Regressed: ratio > 1+RegressionTolerance,
+		})
+	}
+
+	local := map[string]float64{}
+	for _, r := range baseline.Local {
+		local[fmt.Sprintf("local/%s/%s/w%d", r.Benchmark, r.Variant, r.Workers)] = r.NsPerElem
+	}
+	for _, r := range current.Local {
+		key := fmt.Sprintf("local/%s/%s/w%d", r.Benchmark, r.Variant, r.Workers)
+		if base, ok := local[key]; ok {
+			add(key, base, r.NsPerElem)
+		}
+	}
+
+	net := map[string]float64{}
+	for _, r := range baseline.Net {
+		net[fmt.Sprintf("net/%s/%s", r.Benchmark, r.Variant)] = r.NsPerOp
+	}
+	for _, r := range current.Net {
+		key := fmt.Sprintf("net/%s/%s", r.Benchmark, r.Variant)
+		if base, ok := net[key]; ok {
+			add(key, base, r.NsPerOp)
+		}
+	}
+
+	stream := map[string]float64{}
+	for _, r := range baseline.Stream {
+		stream[fmt.Sprintf("stream/%s/%s/c%d", r.Benchmark, r.Variant, r.Chunk)] = r.NsPerElem
+	}
+	for _, r := range current.Stream {
+		key := fmt.Sprintf("stream/%s/%s/c%d", r.Benchmark, r.Variant, r.Chunk)
+		if base, ok := stream[key]; ok {
+			add(key, base, r.NsPerElem)
+		}
+	}
+
+	overlap := map[string]float64{}
+	for _, r := range baseline.Overlap {
+		overlap[fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode)] = r.MakespanNs
+	}
+	for _, r := range current.Overlap {
+		key := fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode)
+		if base, ok := overlap[key]; ok {
+			add(key, base, r.MakespanNs)
+		}
+	}
+	return deltas
+}
+
+// RenderBenchDiff prints the trajectory table; regressions beyond
+// RegressionTolerance get a WARN marker (informational — wall-clock
+// noise on shared CI runners makes hard gates flaky).
+func RenderBenchDiff(deltas []BenchDelta) string {
+	var b strings.Builder
+	b.WriteString("Bench trajectory vs committed baseline (ratio > 1 is slower)\n\n")
+	if len(deltas) == 0 {
+		b.WriteString("  no comparable rows\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "row", "baseline ns", "current ns", "ratio")
+	warned := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  WARN >" + fmt.Sprintf("%.0f%%", RegressionTolerance*100)
+			warned++
+		}
+		fmt.Fprintf(&b, "%-44s %14.1f %14.1f %8.2f%s\n", d.Key, d.BaselineNs, d.CurrentNs, d.Ratio, mark)
+	}
+	if warned > 0 {
+		fmt.Fprintf(&b, "\n%d row(s) regressed beyond %.0f%% — investigate before merging if reproducible\n",
+			warned, RegressionTolerance*100)
+	}
+	return b.String()
+}

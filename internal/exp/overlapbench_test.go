@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// TestOverlapBenchSmoke runs the overlap bench at toy scale on the
+// in-memory transport and checks the structure of the rows — modes,
+// shapes, positive makespans, speedup anchors. No wall-clock assertions:
+// mem-transport makespans at this scale are noise.
+func TestOverlapBenchSmoke(t *testing.T) {
+	rows, err := OverlapBench(OverlapBenchOptions{
+		P:           2,
+		Stages:      3,
+		Elements:    2000,
+		Repeats:     1,
+		Seed:        42,
+		WireLatency: 200 * time.Microsecond,
+		Dist:        dist.Config{Transport: dist.TransportMem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	wantModes := []string{"eager", "deferred", "overlap"}
+	for i, r := range rows {
+		if r.Mode != wantModes[i] {
+			t.Errorf("row %d mode %q, want %q", i, r.Mode, wantModes[i])
+		}
+		if r.Benchmark != "overlap-pipeline" || r.P != 2 || r.Stages != 3 || r.Elements != 2000 {
+			t.Errorf("row %d shape wrong: %+v", i, r)
+		}
+		if r.MakespanNs <= 0 {
+			t.Errorf("row %d makespan %v, want > 0", i, r.MakespanNs)
+		}
+		if r.SpeedupVsEager <= 0 || r.SpeedupVsDeferred <= 0 {
+			t.Errorf("row %d speedups not set: %+v", i, r)
+		}
+	}
+	if rows[0].SpeedupVsEager != 1 {
+		t.Errorf("eager row's speedup-vs-eager = %v, want 1", rows[0].SpeedupVsEager)
+	}
+	if rows[1].SpeedupVsDeferred != 1 {
+		t.Errorf("deferred row's speedup-vs-deferred = %v, want 1", rows[1].SpeedupVsDeferred)
+	}
+	if s := RenderOverlapBench(rows); !strings.Contains(s, "overlap-pipeline") {
+		t.Errorf("render missing benchmark name:\n%s", s)
+	}
+}
+
+// TestDiffBench pins the trajectory diff: matching by row identity,
+// the >10% WARN threshold, and skipping rows without a counterpart.
+func TestDiffBench(t *testing.T) {
+	base := BenchArtifact{
+		Net: []NetBenchRow{
+			{Benchmark: "tcp-allreduce", Variant: "gob", NsPerOp: 1000},
+			{Benchmark: "tcp-allreduce", Variant: "frame", NsPerOp: 500},
+		},
+		Overlap: []OverlapBenchRow{
+			{Benchmark: "overlap-pipeline", Mode: "overlap", MakespanNs: 2e6},
+			{Benchmark: "overlap-pipeline", Mode: "retired-mode", MakespanNs: 1e6},
+		},
+	}
+	cur := BenchArtifact{
+		Net: []NetBenchRow{
+			{Benchmark: "tcp-allreduce", Variant: "gob", NsPerOp: 1050},  // +5%: fine
+			{Benchmark: "tcp-allreduce", Variant: "frame", NsPerOp: 600}, // +20%: warn
+		},
+		Overlap: []OverlapBenchRow{
+			{Benchmark: "overlap-pipeline", Mode: "overlap", MakespanNs: 1.8e6}, // faster
+			{Benchmark: "overlap-pipeline", Mode: "brand-new-mode", MakespanNs: 9e6},
+		},
+	}
+	deltas := DiffBench(base, cur)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (unmatched rows skipped): %+v", len(deltas), deltas)
+	}
+	byKey := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	if d := byKey["net/tcp-allreduce/gob"]; d.Regressed {
+		t.Errorf("5%% slowdown flagged as regression: %+v", d)
+	}
+	if d := byKey["net/tcp-allreduce/frame"]; !d.Regressed {
+		t.Errorf("20%% slowdown not flagged: %+v", d)
+	}
+	if d := byKey["overlap/overlap-pipeline/overlap"]; d.Regressed || d.Ratio >= 1 {
+		t.Errorf("speedup misreported: %+v", d)
+	}
+	out := RenderBenchDiff(deltas)
+	if !strings.Contains(out, "WARN") {
+		t.Errorf("diff render missing WARN:\n%s", out)
+	}
+	if RenderBenchDiff(nil) == "" {
+		t.Error("empty diff renders nothing")
+	}
+}

@@ -197,6 +197,21 @@ func RenderNetBench(rows []NetBenchRow) string {
 	return b.String()
 }
 
+// RenderOverlapBench prints the verification-policy makespan
+// comparison.
+func RenderOverlapBench(rows []OverlapBenchRow) string {
+	var b strings.Builder
+	b.WriteString("Pipeline verification policy: eager vs sync-deferred vs overlapped resolve (makespan)\n\n")
+	fmt.Fprintf(&b, "%-18s %-10s %4s %8s %10s %12s %14s %12s %14s\n",
+		"benchmark", "mode", "p", "stages", "elements", "wire ms", "makespan ms", "vs eager", "vs deferred")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-10s %4d %8d %10d %12.2f %14.2f %11.2fx %13.2fx\n",
+			r.Benchmark, r.Mode, r.P, r.Stages, r.Elements, float64(r.WireLatencyNs)/1e6,
+			r.MakespanNs/1e6, r.SpeedupVsEager, r.SpeedupVsDeferred)
+	}
+	return b.String()
+}
+
 // RenderVolume prints the communication-volume audit: the totals table
 // (the sublinearity claim, reduce stage only) followed by each input
 // size's per-stage CheckStats breakdown over the whole pipeline.

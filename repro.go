@@ -149,6 +149,14 @@ type Options struct {
 	// only the local wall time changes. Small inputs stay serial
 	// regardless.
 	Parallelism int
+	// NoOverlap disables resolve/compute overlap in CheckDeferred mode:
+	// Context.VerifyAsync degrades to the synchronous Verify instead of
+	// launching the batched resolution on a sub-communicator and
+	// returning immediately. Verdicts, VerifySummary attribution, and
+	// checker residues are identical either way — overlap changes only
+	// when the round rides the wire — so this is a debugging and
+	// measurement switch, not a soundness one.
+	NoOverlap bool
 }
 
 // WithParallelism returns a copy of the Options with the local
