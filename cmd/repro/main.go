@@ -66,6 +66,10 @@ func main() {
 		err = runBench(args)
 	case "stream":
 		err = runStream(args)
+	case "serve":
+		err = runServe(args)
+	case "soak":
+		err = runSoak(args)
 	case "all":
 		err = runAll()
 	default:
@@ -103,6 +107,13 @@ experiments:
   stream        streaming checked operations: chunked accumulate/merge/
                 seal residue cost vs one-shot across chunk sizes
                 (-chunk 65536 or -chunks 1024,8192,65536)
+  serve         resident verification service: one persistent mesh
+                serving synthetic concurrent jobs with live stats
+                (-duration 10s -p 4 -concurrency 64 -transport mem)
+  soak          soak-and-chaos harness over the service: manipulated
+                claimed outputs plus transport bitflips and hard
+                faults; exits nonzero if any corruption escapes, any
+                clean job fails, or fault fallout leaks across jobs
   all           everything above at default scale`)
 }
 
@@ -264,6 +275,12 @@ func runBench(args []string) error {
 	withNet := fs.Bool("net", true, "include the TCP allreduce codec benchmark (gob baseline vs framed)")
 	withStream := fs.Bool("stream", true, "include the streaming chunked-vs-oneshot throughput sweep")
 	withOverlap := fs.Bool("overlap", true, "include the verification-policy makespan benchmark (eager vs deferred vs overlapped)")
+	withService := fs.Bool("service", true, "include the service-pool job throughput benchmark (serial vs concurrent)")
+	svcOpt := exp.ServiceBenchOptions{}
+	fs.IntVar(&svcOpt.P, "service-pes", svcOpt.P, "PEs in the service benchmark mesh (default 4)")
+	fs.IntVar(&svcOpt.Concurrency, "service-concurrency", svcOpt.Concurrency, "concurrent jobs in the service benchmark (default 64)")
+	fs.IntVar(&svcOpt.Jobs, "service-jobs", svcOpt.Jobs, "jobs per measured service benchmark row (default 256)")
+	fs.IntVar(&svcOpt.Elements, "service-elements", svcOpt.Elements, "elements per PE per service benchmark job (default 2000)")
 	fs.IntVar(&netOpt.P, "net-pes", netOpt.P, "PEs in the TCP benchmark mesh")
 	fs.IntVar(&netOpt.Words, "net-words", netOpt.Words, "words per PE per benchmarked allreduce")
 	fs.IntVar(&netOpt.Rounds, "net-rounds", netOpt.Rounds, "allreduces per TCP benchmark repetition")
@@ -331,7 +348,17 @@ func runBench(args []string) error {
 		fmt.Println()
 		fmt.Print(exp.RenderOverlapBench(overlapRows))
 	}
-	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows}
+	var svcRows []exp.ServiceBenchRow
+	if *withService {
+		svcOpt.Seed = opt.Seed
+		svcRows, err = exp.RunServiceBench(svcOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderServiceBench(svcRows))
+	}
+	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows, Service: svcRows}
 	if *baseline != "" {
 		base, err := exp.ReadBenchArtifact(*baseline)
 		if err != nil {
@@ -348,8 +375,8 @@ func runBench(args []string) error {
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d local, %d net, %d stream, and %d overlap rows to %s\n",
-			len(rows), len(netRows), len(streamRows), len(overlapRows), *out)
+		fmt.Printf("\nwrote %d local, %d net, %d stream, %d overlap, and %d service rows to %s\n",
+			len(rows), len(netRows), len(streamRows), len(overlapRows), len(svcRows), *out)
 	}
 	return nil
 }

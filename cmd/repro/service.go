@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/service"
+)
+
+// runServe brings up a resident verification pool and drives synthetic
+// open-loop traffic over it until the duration elapses (or SIGINT),
+// printing service-level stats once a second — the long-lived service
+// shape of the paper's always-on checkers, observable from a terminal.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	p := fs.Int("p", 4, "PEs in the resident mesh")
+	concurrency := fs.Int("concurrency", 64, "in-flight job bound")
+	elements := fs.Int("elements", 2000, "elements per PE per job")
+	seed := fs.Uint64("seed", 42, "pool seed")
+	duration := fs.Duration("duration", 10*time.Second, "how long to serve (0 = until interrupt)")
+	var cfg dist.Config
+	resolve := transportFlags(fs, &cfg)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolve(); err != nil {
+		return err
+	}
+
+	pool, err := service.New(service.Options{
+		P:             *p,
+		Seed:          *seed,
+		Dist:          cfg,
+		MaxConcurrent: *concurrency,
+		JobTimeout:    2 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	fmt.Printf("serving: %d PEs over %s, up to %d concurrent jobs (interrupt to stop)\n",
+		pool.Size(), transportName(cfg), *concurrency)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	defer signal.Stop(stop)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+
+	gen := exp.NewServeTraffic(*p, *elements, *seed)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-deadline:
+				return
+			default:
+			}
+			if err := gen.SubmitOne(pool, i); err != nil {
+				if err != service.ErrPoolClosed {
+					fmt.Fprintln(os.Stderr, "serve: submit:", err)
+				}
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-done:
+			printStats(pool.Stats())
+			return nil
+		case <-ticker.C:
+			printStats(pool.Stats())
+		}
+	}
+}
+
+func printStats(s service.PoolStats) {
+	fmt.Printf("jobs: %d done (%d pass, %d reject, %d error), %d in flight (hw %d), %.0f jobs/s, p50 %.2fms, p99 %.2fms\n",
+		s.Completed, s.Passed, s.Rejected, s.Errored, s.InFlight, s.HighWater,
+		s.JobsPerSec, float64(s.P50Ns)/1e6, float64(s.P99Ns)/1e6)
+}
+
+func transportName(cfg dist.Config) string {
+	if cfg.Transport == "" {
+		return string(dist.TransportMem)
+	}
+	return string(cfg.Transport)
+}
+
+// runSoak runs the soak-and-chaos harness: mixed checked traffic with
+// manipulated claimed outputs, then transport bitflips and hard
+// receive faults, verifying every injected corruption is caught and
+// every fault stays contained to the job that absorbed it. Exits
+// nonzero when the run's invariants do not hold.
+func runSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	var opt exp.SoakOptions
+	fs.IntVar(&opt.P, "p", 0, "PEs in the resident mesh (default 4)")
+	fs.IntVar(&opt.Concurrency, "concurrency", 0, "in-flight job bound (default 64)")
+	fs.IntVar(&opt.Jobs, "jobs", 0, "phase-A traffic jobs (default 512)")
+	fs.IntVar(&opt.Elements, "elements", 0, "elements per PE per job (default 2000)")
+	fs.IntVar(&opt.CorruptEvery, "corrupt-every", 0, "corrupt every n-th corruptible job (default 3, <0 disables)")
+	fs.IntVar(&opt.Flips, "flips", 0, "transport bitflip episodes (default 4, <0 disables)")
+	fs.IntVar(&opt.Faults, "faults", 0, "hard receive-fault episodes (default 4, <0 disables)")
+	fs.Uint64Var(&opt.Seed, "seed", 0, "soak seed")
+	eager := fs.Bool("eager", false, "run jobs in CheckEager mode instead of CheckDeferred")
+	verbose := fs.Bool("v", false, "log escapes, false alarms, and chaos attribution")
+	out := fs.String("out", "", "write the SoakResult as JSON to this file")
+	resolve := transportFlags(fs, &opt.Dist)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolve(); err != nil {
+		return err
+	}
+	if *eager {
+		// fill() maps the CheckEager zero value to CheckDeferred, so
+		// eager mode rides the explicit flag. Detection works either
+		// way: an eager assertion rejects inline, a deferred one at the
+		// job's Verify.
+		opt.Mode = repro.CheckEager
+	}
+	if *verbose {
+		opt.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := exp.Soak(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderSoak(res))
+	if *out != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote soak result to %s\n", *out)
+	}
+	if !res.OK {
+		return fmt.Errorf("soak failed: %d escapes, %d false alarms, %d/%d flips contained, %d/%d faults contained, high-water %d",
+			res.Escapes, res.FalseAlarms, res.FlipContained, res.Flips, res.FaultContained, res.Faults, res.HighWater)
+	}
+	return nil
+}

@@ -283,10 +283,12 @@ func (c *Context) TotalCheckerBytes() int64 {
 }
 
 // commSnapshot reads this PE's sent-traffic counters and collective
-// operation count.
+// operation count from the Context's communicator. Metering is
+// per-communicator, not per-endpoint: when many jobs share one
+// endpoint on a resident mesh, each Context's deltas cover its own
+// pipeline's traffic and nothing else.
 func (c *Context) commSnapshot() (bytes, msgs int64, rounds int) {
-	m := c.w.Endpoint().Metrics().Snapshot()
-	return m.BytesSent, m.MsgsSent, c.w.Coll.OpsStarted()
+	return c.w.Coll.BytesSent(), c.w.Coll.MsgsSent(), c.w.Coll.OpsStarted()
 }
 
 // fail records err as the Context's sticky error.
@@ -520,6 +522,11 @@ func (c *Context) awaitOutstanding() error {
 	c.outstanding = nil
 	verdicts, err := round.res.Await()
 	round.sum.Bytes, round.sum.Msgs, round.sum.Rounds, round.sum.WallNs = round.res.Cost()
+	// The round is done and the at-most-one-outstanding discipline makes
+	// this await SPMD-ordered, so its tag block can be recycled — a
+	// long-lived Context (service job) launches unboundedly many rounds
+	// from a finite block space.
+	round.res.Release()
 	if err != nil {
 		return c.fail(err)
 	}

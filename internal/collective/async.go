@@ -39,12 +39,34 @@ func (p *Pending[T]) Await() (T, error) {
 }
 
 // Comm returns the dedicated sub-communicator the operation ran on,
-// e.g. to meter the traffic it cost (after Done).
+// e.g. to meter the traffic it cost (after Done). Nil if the operation
+// failed to start (tag space exhausted).
 func (p *Pending[T]) Comm() *Comm { return p.sub }
 
-// start runs f on a fresh sub-communicator in a worker goroutine.
+// Release returns the operation's tag block to the parent communicator
+// for reuse. Call only after the operation completed (Await or Done),
+// and — like Sub — at the same point on every PE relative to other
+// Sub/Release activity on the parent. Optional: an unreleased block is
+// merely not recycled.
+func (p *Pending[T]) Release() {
+	if p.sub != nil {
+		p.sub.Release()
+	}
+}
+
+// start runs f on a fresh sub-communicator in a worker goroutine. A
+// failed sub allocation (tag space exhausted) surfaces through the
+// handle: Await returns the error without any collective having
+// started.
 func start[T any](c *Comm, f func(sub *Comm) (T, error)) *Pending[T] {
-	p := &Pending[T]{sub: c.Sub(), done: make(chan struct{})}
+	p := &Pending[T]{done: make(chan struct{})}
+	sub, err := c.Sub()
+	if err != nil {
+		p.err = err
+		close(p.done)
+		return p
+	}
+	p.sub = sub
 	go func() {
 		defer close(p.done)
 		defer func() {

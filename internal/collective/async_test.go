@@ -65,7 +65,14 @@ func TestSubConcurrentCollectives(t *testing.T) {
 			defer net.Close()
 			runNet(t, net, func(c *Comm) error {
 				// SPMD-ordered Sub calls: every PE derives the same two blocks.
-				s1, s2 := c.Sub(), c.Sub()
+				s1, err := c.Sub()
+				if err != nil {
+					return err
+				}
+				s2, err := c.Sub()
+				if err != nil {
+					return err
+				}
 				rank := uint64(c.Rank())
 				var wg sync.WaitGroup
 				var err1, err2 error
@@ -279,7 +286,14 @@ func TestTagAllocationRace(t *testing.T) {
 		}
 	}
 	// Sub blocks are distinct too.
-	s1, s2 := c.Sub(), c.Sub()
+	s1, err := c.Sub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Sub()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s1.base == s2.base {
 		t.Fatal("two Sub calls returned the same tag block")
 	}

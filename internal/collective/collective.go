@@ -22,23 +22,37 @@
 //	[1<<30, 1<<31)      user tags: SendTagged/RecvTagged traffic, offset
 //	                    by userTagBase; shared by all communicators over
 //	                    the endpoint, so callers own disjointness there
-//	[1<<31, ...)        sub-communicator blocks of subTagSpan tags each,
-//	                    handed out by Sub in allocation order
+//	[1<<31, 1<<62)      sub-communicator blocks, handed out by Sub in
+//	                    allocation order and returned for reuse by
+//	                    Release
+//	[1<<62, ...)        control messages (comm.KickTag); never allocated
 //
-// Sub carves the next block out of the shared space; the resulting Comm
-// runs its own collective sequence concurrently with the parent's (and
-// with other siblings'), which is what makes nonblocking collectives
-// (IAllReduce and friends) and resolve/compute overlap possible. Since
-// tags are how PEs match messages, all PEs must call Sub in the same
-// order relative to one another — the usual SPMD contract, extended to
-// communicator creation. Tag counters are atomic, so concurrent
-// collectives on *different* communicators of one endpoint are safe;
-// a single communicator still admits only one collective at a time.
+// Sub carves a block out of the parent's space; the resulting Comm runs
+// its own collective sequence concurrently with the parent's (and with
+// other siblings'), which is what makes nonblocking collectives
+// (IAllReduce and friends), resolve/compute overlap, and concurrent
+// verification jobs on one resident mesh possible. Allocation is
+// hierarchical: a sub-communicator's block is split into its own ops
+// region and a child region it can Sub from in turn (an async round
+// inside a job inside the root), until blocks get too small to split.
+// Release returns a retired block to its parent's free list, so a
+// long-lived communicator can mint sub-communicators indefinitely;
+// exhausting a level without releasing reports ErrTagSpaceExhausted
+// instead of silently colliding.
+//
+// Since tags are how PEs match messages, all PEs must call Sub — and
+// Release — in the same order relative to one another on any given
+// parent — the usual SPMD contract, extended to communicator lifecycle.
+// Tag counters are atomic, so concurrent collectives on *different*
+// communicators of one endpoint are safe; a single communicator still
+// admits only one collective at a time.
 package collective
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/comm"
@@ -50,11 +64,65 @@ const (
 	userTagBase = 1 << 30
 	// subTagBase is where sub-communicator tag blocks begin.
 	subTagBase int64 = 1 << 31
-	// subTagSpan is the tag-block width of one sub-communicator: room
-	// for millions of collective operations, far beyond any round's
-	// needs, while permitting billions of sub-communicators.
+	// subTagLimit caps the sub-communicator space; tags at and above it
+	// are the control range (comm.KickTag).
+	subTagLimit int64 = comm.KickTag
+	// subTagSpan is the tag-block width of a first-level
+	// sub-communicator: room for millions of collective operations, far
+	// beyond any round's needs, while permitting billions of
+	// sub-communicators.
 	subTagSpan int64 = 1 << 24
+	// subFanout divides a block's child region into child blocks: each
+	// nesting level shrinks spans by 64×, giving blocks of 2^24, 2^18,
+	// 2^12 tags at depths 1..3.
+	subFanout int64 = 64
+	// minSubSpan is the smallest block worth splitting further: below
+	// it the ops region could not hold a multi-round collective per
+	// nesting level, so such blocks are leaves and their Sub fails.
+	minSubSpan int64 = 1 << 12
 )
+
+// ErrTagSpaceExhausted is reported by Sub when the parent communicator
+// has no free tag block left — either its child region is fully
+// allocated with nothing released, or its own block is too small to
+// subdivide further.
+var ErrTagSpaceExhausted = errors.New("collective: sub-communicator tag space exhausted")
+
+// childSpace hands out the child blocks of one communicator: fresh
+// blocks ascend from the region's start; released blocks are reused
+// LIFO. Allocation order is deterministic given the call sequence,
+// which is what keeps ranks aligned — every PE performs the same
+// Sub/Release sequence on a given parent, so every PE's allocator is in
+// the same state at each call.
+type childSpace struct {
+	mu    sync.Mutex
+	span  int64 // width of each child block
+	next  int64 // first never-allocated block
+	limit int64 // region end
+	free  []int64
+}
+
+func (s *childSpace) alloc() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		base := s.free[n-1]
+		s.free = s.free[:n-1]
+		return base, true
+	}
+	if s.next+s.span > s.limit {
+		return 0, false
+	}
+	base := s.next
+	s.next += s.span
+	return base, true
+}
+
+func (s *childSpace) release(base int64) {
+	s.mu.Lock()
+	s.free = append(s.free, base)
+	s.mu.Unlock()
+}
 
 // Comm wraps an endpoint with collective operations over its own tag
 // block. The root communicator (New) owns the collective region of the
@@ -63,17 +131,26 @@ const (
 type Comm struct {
 	mux *comm.Mux
 
-	// base and limit bound this communicator's tag block.
+	// base and limit bound this communicator's ops region: the tags its
+	// own collective sequence allocates from.
 	base, limit int64
-	// tag is the next unallocated offset within the block. Atomic:
+	// end bounds the communicator's whole tag block [base, end): ops
+	// region plus the child region its sub-communicators are carved
+	// from. Abort poisons and Release recycles the whole block.
+	end int64
+	// tag is the next unallocated offset within the ops region. Atomic:
 	// nonblocking collectives allocate tags from worker goroutines
 	// while the PE's main goroutine keeps issuing collectives.
 	tag atomic.Int64
 	ops atomic.Int64
 
-	// subs counts sub-communicators carved from this endpoint's space,
-	// shared by the root and all its subs.
-	subs *atomic.Int64
+	// kids allocates this communicator's child blocks; nil on leaf
+	// communicators whose block is too small to subdivide.
+	kids *childSpace
+	// parent is the communicator this block was carved from; nil at the
+	// root. Release returns the block to parent.kids.
+	parent   *Comm
+	released atomic.Bool
 
 	// bytesSent/msgsSent meter traffic sent through this communicator
 	// alone — unlike endpoint metrics, unpolluted by concurrent
@@ -86,7 +163,13 @@ type Comm struct {
 // on ep is routed through one demultiplexer from here on; the endpoint
 // must not be used for direct receives anymore.
 func New(ep comm.Endpoint) *Comm {
-	return &Comm{mux: comm.NewMux(ep), base: 0, limit: userTagBase, subs: new(atomic.Int64)}
+	return &Comm{
+		mux:   comm.NewMux(ep),
+		base:  0,
+		limit: userTagBase,
+		end:   userTagBase,
+		kids:  &childSpace{span: subTagSpan, next: subTagBase, limit: subTagLimit},
+	}
 }
 
 // Rank returns this PE's rank.
@@ -98,17 +181,80 @@ func (c *Comm) Size() int { return c.mux.Endpoint().Size() }
 // Endpoint exposes the underlying endpoint.
 func (c *Comm) Endpoint() comm.Endpoint { return c.mux.Endpoint() }
 
-// Sub carves the next sub-communicator out of this endpoint's tag
-// space: a Comm over the same endpoint whose collectives use a disjoint
-// tag block and may therefore be in flight concurrently with the
-// parent's (and with other subs'). Like any collective, all PEs must
-// call Sub at the same point of their program so ranks agree on the
-// block; the allocation itself is atomic and may race with collectives
-// on other communicators. Sub-communicators need no teardown.
-func (c *Comm) Sub() *Comm {
-	n := c.subs.Add(1) - 1
-	base := subTagBase + n*subTagSpan
-	return &Comm{mux: c.mux, base: base, limit: base + subTagSpan, subs: c.subs}
+// Sub carves a sub-communicator out of this communicator's tag space: a
+// Comm over the same endpoint whose collectives use a disjoint tag
+// block and may therefore be in flight concurrently with the parent's
+// (and with other subs'). Like any collective, all PEs must call Sub —
+// and Release — at the same point of their program relative to other
+// Sub/Release calls on the same parent, so ranks agree on the block.
+// The allocation itself is locked and may race with collectives on any
+// communicator.
+//
+// The child's block is itself subdividable (its Sub mints
+// grandchildren) until spans shrink below the useful minimum. Blocks
+// are a finite resource per parent: a retired sub-communicator should
+// be Released so its block is reused; a parent whose region is
+// exhausted reports ErrTagSpaceExhausted rather than wrapping into a
+// sibling's tags.
+func (c *Comm) Sub() (*Comm, error) {
+	if c.kids == nil {
+		return nil, fmt.Errorf("%w: block [%d, %d) is too small to subdivide", ErrTagSpaceExhausted, c.base, c.end)
+	}
+	base, ok := c.kids.alloc()
+	if !ok {
+		return nil, fmt.Errorf("%w: no free block of span %d in [%d, %d); Release retired sub-communicators to recycle their blocks",
+			ErrTagSpaceExhausted, c.kids.span, c.kids.next, c.kids.limit)
+	}
+	span := c.kids.span
+	sub := &Comm{
+		mux:    c.mux,
+		base:   base,
+		limit:  base + span/2,
+		end:    base + span,
+		parent: c,
+	}
+	if childSpan := span / subFanout; childSpan >= minSubSpan {
+		sub.kids = &childSpace{span: childSpan, next: base + span/2, limit: base + span}
+	}
+	return sub, nil
+}
+
+// Release returns this sub-communicator's tag block to its parent for
+// reuse by a later Sub and clears any Abort poison on the block. Like
+// Sub, Release is part of the parent's allocation sequence: every PE
+// must call it at the same point relative to the parent's other
+// Sub/Release calls, and only once the communicator — including any
+// sub-communicators carved from it — is quiescent on every PE (no
+// in-flight collectives, no undelivered messages). A block that may
+// still have stragglers on the wire (an aborted job) must NOT be
+// released: a recycled tag could then match a dead stream's message.
+// Releasing the root or releasing twice is a no-op.
+func (c *Comm) Release() {
+	if c.parent == nil || !c.released.CompareAndSwap(false, true) {
+		return
+	}
+	c.mux.ClearRange(int(c.base), int(c.end))
+	c.parent.kids.release(c.base)
+}
+
+// Abort poisons this communicator's whole tag block on this PE: every
+// current and future receive inside [base, end) — the communicator's
+// own collectives and those of any sub-communicator carved from it —
+// fails with err, and the block's queued and straggling messages are
+// dropped. Traffic outside the block is untouched, which is what lets
+// one job die on a resident mesh without tearing the mesh down. Abort
+// only unblocks receivers on this PE's endpoint; a goroutine currently
+// blocked inside the endpoint's RecvAny on an idle mesh additionally
+// needs a comm.KickTag control message from a peer to notice.
+func (c *Comm) Abort(err error) {
+	c.mux.PoisonRange(int(c.base), int(c.end), err)
+}
+
+// Block reports the communicator's full tag block [lo, hi): ops region
+// plus child region. Fault-attribution code uses it to decide whether
+// an injected fault's tag belongs to this communicator's traffic.
+func (c *Comm) Block() (lo, hi int) {
+	return int(c.base), int(c.end)
 }
 
 // BytesSent returns how many payload bytes this communicator has sent

@@ -30,6 +30,16 @@ const DefaultTimeout = 120 * time.Second
 // a network's timeout.
 const NoTimeout time.Duration = -1
 
+// KickTag is the first tag of the control range: messages tagged at or
+// above it carry no data and are never delivered to a receiver. Their
+// only effect is to complete a pending RecvAny, which is how a service
+// wakes an endpoint's active puller after poisoning a tag range
+// (Mux.PoisonRange) — on an otherwise idle mesh nothing else would
+// arrive and the puller would sit in RecvAny until its deadline. Tag
+// allocation (collectives, user tags, sub-communicator blocks) stays
+// strictly below KickTag.
+const KickTag = 1 << 62
+
 // resolveTimeout maps a constructor's timeout argument to the effective
 // per-operation deadline: zero selects the DefaultTimeout backstop,
 // negative (NoTimeout) disables deadlines, positive is used as given.
@@ -67,6 +77,23 @@ type Message struct {
 	// the receive completes, not when the message is parked. Unexported
 	// so the wire codecs never see it.
 	onMatch func()
+
+	// err, when set by a wrapper's RecvAny (FaultyNetwork's hard-fault
+	// mode), scopes a per-message failure to the receiver the message
+	// was addressed to: the Mux delivers the error to the matched
+	// (src, tag) receive instead of poisoning every stream on the
+	// endpoint. Transport-level errors — closure, timeout — are still
+	// returned from RecvAny itself and still poison globally.
+	err error
+}
+
+// Fail marks the message as a scoped per-message failure: the matched
+// receiver gets err, everyone else on the endpoint is untouched. The
+// payload is dropped (a faulted delivery carries no data). For use by
+// fault-injecting wrappers.
+func (m *Message) Fail(err error) {
+	m.err = err
+	m.Payload = nil
 }
 
 // Endpoint is one PE's port into the network. Endpoints follow the

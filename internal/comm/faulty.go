@@ -17,20 +17,30 @@ var ErrInjected = errors.New("comm: injected receive fault")
 // that happens while data is in flight, not only in final outputs.
 // Alternatively (NewFaultyNetworkRecvErr) it fails the chosen receive
 // outright, for exercising first-error teardown paths.
+//
+// The injector is re-armable (ArmBitflip/ArmRecvErr), so one long-lived
+// wrapped network can carry many independent chaos episodes — the soak
+// harness's mode of use — and it records where the fault landed
+// (InjectedAt) so a run can attribute the failure to the tag block, and
+// hence the job, that absorbed it.
 type FaultyNetwork struct {
 	inner Network
 	eps   []*faultyEndpoint
-	// counter numbers payloads network-wide in delivery order.
+	// counter numbers non-empty payloads network-wide in delivery order.
 	counter atomic.Int64
-	// target is the 1-based payload number to corrupt; 0 disables.
-	target int64
+	// target is the absolute payload number to corrupt (1-based, in
+	// counter's numbering); 0 disables.
+	target atomic.Int64
 	// bit is the bit index to flip within the payload.
-	bit int
-	// recvErr selects hard-fault mode: the target receive returns
-	// ErrInjected instead of a corrupted payload.
-	recvErr bool
-	// Injected reports whether the fault has been placed.
-	injected atomic.Bool
+	bit atomic.Int64
+	// recvErr selects hard-fault mode: the target receive fails with
+	// ErrInjected instead of delivering a corrupted payload.
+	recvErr atomic.Bool
+	// injected reports whether the armed fault has been placed;
+	// injectedRank/injectedTag record where.
+	injected     atomic.Bool
+	injectedRank atomic.Int64
+	injectedTag  atomic.Int64
 }
 
 type faultyEndpoint struct {
@@ -40,8 +50,11 @@ type faultyEndpoint struct {
 
 // NewFaultyNetwork wraps inner, flipping bit `bit` of the `target`-th
 // non-empty payload received anywhere in the network (1-based).
+// target 0 builds the wrapper disarmed; arm it later.
 func NewFaultyNetwork(inner Network, target int64, bit int) *FaultyNetwork {
-	n := &FaultyNetwork{inner: inner, target: target, bit: bit}
+	n := &FaultyNetwork{inner: inner}
+	n.target.Store(target)
+	n.bit.Store(int64(bit))
 	n.eps = make([]*faultyEndpoint, inner.Size())
 	for i := range n.eps {
 		n.eps[i] = &faultyEndpoint{net: n, inner: inner.Endpoint(i)}
@@ -55,8 +68,37 @@ func NewFaultyNetwork(inner Network, target int64, bit int) *FaultyNetwork {
 // than silent corruption.
 func NewFaultyNetworkRecvErr(inner Network, target int64) *FaultyNetwork {
 	n := NewFaultyNetwork(inner, target, 0)
-	n.recvErr = true
+	n.recvErr.Store(true)
 	return n
+}
+
+// ArmBitflip re-arms the injector: the delta-th non-empty payload
+// received anywhere in the network from now on gets bit `bit` flipped.
+// Resets DidInject and InjectedAt. Arm only while no earlier fault is
+// still pending.
+func (n *FaultyNetwork) ArmBitflip(delta int64, bit int) {
+	n.bit.Store(int64(bit))
+	n.recvErr.Store(false)
+	n.arm(delta)
+}
+
+// ArmRecvErr re-arms the injector in hard-fault mode: the delta-th
+// non-empty receive from now on fails with ErrInjected.
+func (n *FaultyNetwork) ArmRecvErr(delta int64) {
+	n.recvErr.Store(true)
+	n.arm(delta)
+}
+
+// Disarm cancels any pending fault without resetting the injection
+// record.
+func (n *FaultyNetwork) Disarm() { n.target.Store(0) }
+
+func (n *FaultyNetwork) arm(delta int64) {
+	if delta <= 0 {
+		delta = 1
+	}
+	n.injected.Store(false)
+	n.target.Store(n.counter.Load() + delta)
 }
 
 // Size returns the number of PEs.
@@ -72,6 +114,15 @@ func (n *FaultyNetwork) Close() error { return n.inner.Close() }
 // (the target message may never have been sent).
 func (n *FaultyNetwork) DidInject() bool { return n.injected.Load() }
 
+// InjectedAt reports where the most recent fault landed: the receiving
+// rank and the message tag. ok is false until an injection happened.
+func (n *FaultyNetwork) InjectedAt() (rank, tag int, ok bool) {
+	if !n.injected.Load() {
+		return 0, 0, false
+	}
+	return int(n.injectedRank.Load()), int(n.injectedTag.Load()), true
+}
+
 func (e *faultyEndpoint) Rank() int         { return e.inner.Rank() }
 func (e *faultyEndpoint) Size() int         { return e.inner.Size() }
 func (e *faultyEndpoint) Metrics() *Metrics { return e.inner.Metrics() }
@@ -81,20 +132,23 @@ func (e *faultyEndpoint) Send(dst, tag int, payload []byte) error {
 }
 
 // afterRecv applies the configured fault to a just-received payload:
-// a bit flip in-place, or a synthetic receive error.
-func (e *faultyEndpoint) afterRecv(payload []byte) error {
+// a bit flip in-place, or a synthetic receive error. On injection it
+// records the receiving rank and the message tag for attribution.
+func (e *faultyEndpoint) afterRecv(tag int, payload []byte) error {
 	if len(payload) == 0 {
 		return nil
 	}
 	seq := e.net.counter.Add(1)
-	if seq != e.net.target {
+	if target := e.net.target.Load(); target == 0 || seq != target {
 		return nil
 	}
+	e.net.injectedRank.Store(int64(e.inner.Rank()))
+	e.net.injectedTag.Store(int64(tag))
 	e.net.injected.Store(true)
-	if e.net.recvErr {
+	if e.net.recvErr.Load() {
 		return ErrInjected
 	}
-	bit := e.net.bit % (8 * len(payload))
+	bit := int(e.net.bit.Load()) % (8 * len(payload))
 	payload[bit/8] ^= 1 << (bit % 8)
 	return nil
 }
@@ -104,19 +158,26 @@ func (e *faultyEndpoint) Recv(src, tag int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.afterRecv(payload); err != nil {
+	if err := e.afterRecv(tag, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
 }
 
+// RecvAny pulls from the wrapped endpoint and applies the fault. A
+// hard fault is attached to the message (Message.Fail) rather than
+// returned: through a Mux the failure then reaches exactly the
+// (src, tag) receiver the message was addressed to, instead of
+// poisoning every concurrent stream on the endpoint. The direct Recv
+// path above keeps returning the error — there the caller is the
+// addressee.
 func (e *faultyEndpoint) RecvAny() (Message, error) {
 	m, err := e.inner.RecvAny()
 	if err != nil {
 		return Message{}, err
 	}
-	if err := e.afterRecv(m.Payload); err != nil {
-		return Message{}, err
+	if ferr := e.afterRecv(m.Tag, m.Payload); ferr != nil {
+		m.Fail(ferr)
 	}
 	return m, nil
 }

@@ -19,11 +19,21 @@ import "sync"
 // degrade to a single cheap pull per message when only one collective
 // is active, the common case.
 //
-// An error from the underlying endpoint poisons the Mux: every current
-// and future receive reports it. That matches the runtime's failure
-// semantics — a network that carried a failed run must not be reused —
-// and guarantees that one in-flight collective failing wakes the
-// others instead of deadlocking them.
+// Failures come in three scopes:
+//
+//   - A transport error from RecvAny (closure, deadline) poisons the
+//     whole Mux: every current and future receive reports it. A network
+//     that carried a failed run must not be reused, and one in-flight
+//     collective failing must wake the others instead of deadlocking
+//     them.
+//   - A per-message fault (Message.err, set by fault-injecting
+//     wrappers) fails exactly the receiver the message was addressed
+//     to. Injected chaos stays scoped to the stream it hit, so a
+//     resident mesh serving many jobs loses one job, not all of them.
+//   - A poisoned tag range (PoisonRange) fails every receive whose tag
+//     falls inside it and drops the range's queued and future
+//     messages. This is how one job's tag block is killed on a shared
+//     mesh without touching neighbouring jobs.
 type Mux struct {
 	ep Endpoint
 
@@ -32,9 +42,17 @@ type Mux struct {
 	queues  map[muxKey][]Message
 	pulling bool
 	err     error
+	poisons []poisonRange
 }
 
 type muxKey struct{ src, tag int }
+
+// poisonRange marks the half-open tag interval [lo, hi) as failed with
+// err on this endpoint.
+type poisonRange struct {
+	lo, hi int
+	err    error
+}
 
 // NewMux wraps ep. All receiving on ep must go through the returned
 // Mux from then on; sends may keep using ep directly (transports
@@ -54,6 +72,51 @@ func (m *Mux) Send(dst, tag int, payload []byte) error {
 	return m.ep.Send(dst, tag, payload)
 }
 
+// PoisonRange fails every current and future receive whose tag lies in
+// [lo, hi) with err, and drops the range's queued messages. Receives
+// outside the range are untouched. Waiters inside the range wake
+// immediately; a goroutine currently blocked in the endpoint's RecvAny
+// only notices once a message arrives — senders on a live mesh provide
+// one, and on an idle mesh a peer can send a KickTag control message.
+func (m *Mux) PoisonRange(lo, hi int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.poisons = append(m.poisons, poisonRange{lo: lo, hi: hi, err: err})
+	for key := range m.queues {
+		if key.tag >= lo && key.tag < hi {
+			delete(m.queues, key)
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// ClearRange removes any poison covering tags in [lo, hi), re-arming
+// the range for reuse (a recycled sub-communicator block). Only poison
+// entries fully contained in [lo, hi) are removed.
+func (m *Mux) ClearRange(lo, hi int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.poisons[:0]
+	for _, p := range m.poisons {
+		if p.lo >= lo && p.hi <= hi {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	m.poisons = kept
+}
+
+// poisonFor returns the poison error covering tag, or nil.
+// Caller holds m.mu.
+func (m *Mux) poisonFor(tag int) error {
+	for _, p := range m.poisons {
+		if tag >= p.lo && tag < p.hi {
+			return p.err
+		}
+	}
+	return nil
+}
+
 // Recv blocks until a message from src with the given tag is available
 // and returns its payload. Safe for any number of concurrent callers;
 // per-(src,tag) FIFO order is preserved. Callers must not have two
@@ -67,6 +130,9 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 		if m.err != nil {
 			return nil, m.err
 		}
+		if perr := m.poisonFor(tag); perr != nil {
+			return nil, perr
+		}
 		if q := m.queues[key]; len(q) > 0 {
 			msg := q[0]
 			if len(q) == 1 {
@@ -74,7 +140,7 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 			} else {
 				m.queues[key] = q[1:]
 			}
-			return deliver(msg), nil
+			return deliver(msg)
 		}
 		if m.pulling {
 			// Someone else is at the endpoint; it will queue our message
@@ -88,11 +154,24 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 		m.mu.Lock()
 		m.pulling = false
 		if err != nil {
-			// Poison: a transport error (closure, timeout, injected
-			// fault) must fail every receiver, not just the puller.
+			// Poison: a transport error (closure, timeout) must fail
+			// every receiver, not just the puller.
 			m.err = err
 			m.cond.Broadcast()
 			return nil, err
+		}
+		if msg.Tag >= KickTag {
+			// Control kick: no data, no receiver — its whole purpose
+			// was to complete the RecvAny so the puller re-examines
+			// state (a poison may have landed while it was blocked).
+			m.cond.Broadcast()
+			continue
+		}
+		if m.poisonFor(msg.Tag) != nil {
+			// A straggler addressed to a killed tag range: drop it and
+			// keep pulling. Its would-be receiver already failed.
+			m.cond.Broadcast()
+			continue
 		}
 		if msg.Src == src && msg.Tag == tag {
 			// Our own message, and the key's queue was empty when we
@@ -100,7 +179,7 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 			// so it still is): return it directly, and wake the others
 			// so one of them takes over pulling.
 			m.cond.Broadcast()
-			return deliver(msg), nil
+			return deliver(msg)
 		}
 		m.queues[muxKey{msg.Src, msg.Tag}] = append(m.queues[muxKey{msg.Src, msg.Tag}], msg)
 		m.cond.Broadcast()
@@ -109,10 +188,14 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 
 // deliver completes a matched message: deferred transport bookkeeping
 // (e.g. simnet's arrival observation) fires now, at receive-completion
-// time.
-func deliver(msg Message) []byte {
+// time, and a per-message fault attached by a wrapper surfaces as the
+// matched receiver's error.
+func deliver(msg Message) ([]byte, error) {
 	if msg.onMatch != nil {
 		msg.onMatch()
 	}
-	return msg.Payload
+	if msg.err != nil {
+		return nil, msg.err
+	}
+	return msg.Payload, nil
 }

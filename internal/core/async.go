@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/dist"
 )
 
@@ -15,6 +16,7 @@ import (
 // unpolluted by whatever overlapped with it).
 type PendingVerdicts struct {
 	done     chan struct{}
+	sub      *collective.Comm
 	verdicts []bool
 	err      error
 
@@ -40,7 +42,13 @@ func ResolveAsync(w *dist.Worker, states ...CheckState) *PendingVerdicts {
 		close(p.done)
 		return p
 	}
-	sub := w.Coll.Sub()
+	sub, err := w.Coll.Sub()
+	if err != nil {
+		p.err = err
+		close(p.done)
+		return p
+	}
+	p.sub = sub
 	t0 := time.Now()
 	go func() {
 		defer close(p.done)
@@ -73,4 +81,15 @@ func (p *PendingVerdicts) Await() ([]bool, error) {
 // from launch to completion. Valid after Done.
 func (p *PendingVerdicts) Cost() (bytes, msgs int64, rounds int, wallNs int64) {
 	return p.bytes, p.msgs, p.rounds, p.wallNs
+}
+
+// Release returns the round's tag block to the parent communicator for
+// reuse. Call only after Done, at the same point on every PE relative
+// to other Sub/Release activity on the worker's communicator — the
+// Context's at-most-one-outstanding-round discipline satisfies this
+// naturally. Optional: an unreleased block is merely not recycled.
+func (p *PendingVerdicts) Release() {
+	if p.sub != nil {
+		p.sub.Release()
+	}
 }

@@ -29,10 +29,13 @@ import (
 )
 
 // workerSeedGamma spaces per-rank RNG seeds (the SplitMix64 increment),
-// and commonSeedDomain separates the run-wide checker seed from them.
+// commonSeedDomain separates the run-wide checker seed from them, and
+// jobStreamDomain separates per-job RNG streams (JobWorker) from the
+// base per-rank stream.
 const (
 	workerSeedGamma  = 0x9e3779b97f4a7c15
 	commonSeedDomain = 0x636f6d6d6f6e5364 // "commonSd"
+	jobStreamDomain  = 0x6a6f625374726d21 // "jobStrm!"
 )
 
 // Worker is one PE's execution context inside Run or RunNetwork. A
@@ -99,6 +102,62 @@ func newWorker(net comm.Network, rank int, seed uint64) *Worker {
 		seed: seed,
 		Coll: collective.New(net.Endpoint(rank)),
 		Rng:  hashing.NewMT19937_64(workerSeed(seed, rank)),
+	}
+}
+
+// NewWorkers builds one persistent Worker per endpoint of net and
+// establishes the run-wide common seed with the usual PE-0 broadcast —
+// the entry point for resident-mesh services that keep the workers (and
+// their root communicators) alive across many independent jobs instead
+// of building a world per run. The caller keeps ownership of net; on
+// error the network is left open but must not be reused (a failed
+// broadcast poisons the root communicators' demultiplexers).
+func NewWorkers(net comm.Network, seed uint64) ([]*Worker, error) {
+	p := net.Size()
+	if p < 1 {
+		return nil, fmt.Errorf("dist: NewWorkers requires a network with p >= 1, got %d", p)
+	}
+	ws := make([]*Worker, p)
+	for r := range ws {
+		ws[r] = newWorker(net, r, seed)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := range ws {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = ws[r].CommonSeed()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: NewWorkers: PE %d common-seed broadcast: %w", r, err)
+		}
+	}
+	return ws, nil
+}
+
+// JobWorker derives a job-scoped execution context over this worker's
+// endpoint: collectives ride coll — typically a tag-isolated
+// sub-communicator minted from this worker's Coll — the cached common
+// seed is replaced by commonSeed, so contexts built on the job worker
+// need no broadcast and key their checkers independently per job, and
+// the private RNG is reseeded deterministically from the run seed,
+// rank, and stream. The derived worker shares the endpoint but no
+// mutable state with its parent: concurrent jobs on one PE are
+// race-free, and a job's results depend only on (p, seed, commonSeed,
+// stream) — a serial rerun with the same inputs is bit-identical.
+func (w *Worker) JobWorker(coll *collective.Comm, commonSeed, stream uint64) *Worker {
+	return &Worker{
+		rank:       w.rank,
+		size:       w.size,
+		seed:       w.seed,
+		Coll:       coll,
+		Rng:        hashing.NewMT19937_64(hashing.Mix64(workerSeed(w.seed, w.rank) ^ hashing.Mix64(stream+jobStreamDomain))),
+		commonSeed: commonSeed,
+		haveCommon: true,
 	}
 }
 

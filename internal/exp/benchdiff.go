@@ -16,6 +16,7 @@ type BenchArtifact struct {
 	Net     []NetBenchRow     `json:"net,omitempty"`
 	Stream  []StreamBenchRow  `json:"stream,omitempty"`
 	Overlap []OverlapBenchRow `json:"overlap,omitempty"`
+	Service []ServiceBenchRow `json:"service,omitempty"`
 }
 
 // ReadBenchArtifact loads a baseline artifact from disk.
@@ -107,6 +108,17 @@ func DiffBench(baseline, current BenchArtifact) []BenchDelta {
 		key := fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode)
 		if base, ok := overlap[key]; ok {
 			add(key, base, r.MakespanNs)
+		}
+	}
+
+	svc := map[string]float64{}
+	for _, r := range baseline.Service {
+		svc[fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency)] = r.NsPerJob
+	}
+	for _, r := range current.Service {
+		key := fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency)
+		if base, ok := svc[key]; ok {
+			add(key, base, r.NsPerJob)
 		}
 	}
 	return deltas

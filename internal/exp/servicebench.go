@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/service"
+)
+
+// ServiceBenchRow is one measured service-mode throughput
+// configuration: a resident pool of P PEs serving Jobs clean checked
+// jobs at the given concurrency. NsPerJob (wall time over completed
+// jobs) is the row's primary metric for the trajectory diff; the
+// latency quantiles and per-job communication cost come from the
+// pool's own metering.
+type ServiceBenchRow struct {
+	Benchmark    string  `json:"benchmark"` // "service-throughput"
+	Transport    string  `json:"transport"`
+	P            int     `json:"p"`
+	Concurrency  int     `json:"concurrency"`
+	Jobs         int     `json:"jobs"`
+	Elements     int     `json:"elements"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	NsPerJob     float64 `json:"ns_per_job"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	BytesPerJob  float64 `json:"bytes_per_job"`
+	RoundsPerJob float64 `json:"rounds_per_job"`
+	HighWater    int     `json:"high_water"`
+}
+
+// ServiceBenchOptions configures RunServiceBench. Zero fields take the
+// defaults noted on them.
+type ServiceBenchOptions struct {
+	P           int         // PEs (default 4)
+	Concurrency int         // concurrent jobs (default 64)
+	Jobs        int         // jobs per measured row (default 256)
+	Elements    int         // elements per PE per job (default 2000)
+	Seed        uint64      //
+	Dist        dist.Config // transport (default mem)
+	Mode        repro.CheckMode
+}
+
+func (o *ServiceBenchOptions) fill() {
+	if o.P == 0 {
+		o.P = 4
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 64
+	}
+	if o.Jobs == 0 {
+		o.Jobs = 256
+	}
+	if o.Elements == 0 {
+		o.Elements = 2000
+	}
+	if o.Mode == repro.CheckEager {
+		o.Mode = repro.CheckDeferred
+	}
+}
+
+// RunServiceBench measures service-mode job throughput on one resident
+// mesh at two concurrency levels — 1 (the serial floor: what the same
+// job stream costs without overlap) and the configured concurrency —
+// so the artifact records both the pipeline win and its trajectory.
+func RunServiceBench(opt ServiceBenchOptions) ([]ServiceBenchRow, error) {
+	opt.fill()
+	transport := string(opt.Dist.Transport)
+	if transport == "" {
+		transport = string(dist.TransportMem)
+	}
+	var rows []ServiceBenchRow
+	for _, conc := range []int{1, opt.Concurrency} {
+		if conc == 1 && opt.Concurrency == 1 {
+			continue
+		}
+		row, err := runServiceBenchRow(opt, conc)
+		if err != nil {
+			return nil, err
+		}
+		row.Transport = transport
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runServiceBenchRow(opt ServiceBenchOptions, concurrency int) (ServiceBenchRow, error) {
+	row := ServiceBenchRow{
+		Benchmark:   "service-throughput",
+		P:           opt.P,
+		Concurrency: concurrency,
+		Jobs:        opt.Jobs,
+		Elements:    opt.Elements,
+	}
+	pool, err := service.New(service.Options{
+		P:             opt.P,
+		Seed:          opt.Seed,
+		Dist:          opt.Dist,
+		MaxConcurrent: concurrency,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer pool.Close()
+
+	gen := newSoakGen(SoakOptions{P: opt.P, Elements: opt.Elements, Seed: opt.Seed, Mode: opt.Mode})
+	jobs := make([]soakJob, opt.Jobs)
+	for i := range jobs {
+		jobs[i] = gen.cleanWaveJob()
+	}
+	start := time.Now()
+	handles := make([]*service.Job, len(jobs))
+	for i, sj := range jobs {
+		h, err := sj.submit(pool, fmt.Sprintf("bench-%d", i))
+		if err != nil {
+			return row, err
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if err := h.Await(); err != nil {
+			return row, fmt.Errorf("exp: service bench job %d failed: %w", i, err)
+		}
+	}
+	wall := time.Since(start)
+
+	st := pool.Stats()
+	row.JobsPerSec = float64(opt.Jobs) / wall.Seconds()
+	row.NsPerJob = float64(wall.Nanoseconds()) / float64(opt.Jobs)
+	row.P50Ns = st.P50Ns
+	row.P99Ns = st.P99Ns
+	row.BytesPerJob = st.BytesPerJob
+	row.RoundsPerJob = st.RoundsPerJob
+	row.HighWater = st.HighWater
+	return row, nil
+}
+
+// ServeTraffic generates an endless stream of clean mixed checked jobs
+// for the `repro serve` subcommand: the soak generator's traffic kinds
+// with corruption disabled.
+type ServeTraffic struct {
+	gen *soakGen
+}
+
+// NewServeTraffic builds a generator for a pool of p PEs with the given
+// per-PE job size. Not safe for concurrent use; drive it from one
+// submission loop.
+func NewServeTraffic(p, elements int, seed uint64) *ServeTraffic {
+	opt := SoakOptions{P: p, Elements: elements, Seed: seed, CorruptEvery: -1}
+	opt.fill()
+	return &ServeTraffic{gen: newSoakGen(opt)}
+}
+
+// SubmitOne submits the i-th synthetic job. Blocks on the pool's
+// backpressure when it is saturated; the job's completion is tracked by
+// the pool's own stats, so the caller needs no handle.
+func (tr *ServeTraffic) SubmitOne(pool *service.Pool, i int) error {
+	sj := tr.gen.job(i)
+	_, err := sj.submit(pool, fmt.Sprintf("serve-%s-%d", sj.kind, i))
+	return err
+}
+
+// RenderServiceBench prints the service throughput table.
+func RenderServiceBench(rows []ServiceBenchRow) string {
+	var b strings.Builder
+	b.WriteString("Service throughput: clean checked jobs over one resident mesh\n\n")
+	fmt.Fprintf(&b, "%-10s %4s %6s %6s %10s %12s %12s %10s\n",
+		"transport", "p", "conc", "jobs", "jobs/s", "p50 ms", "p99 ms", "rounds/job")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %4d %6d %6d %10.0f %12.3f %12.3f %10.1f\n",
+			r.Transport, r.P, r.Concurrency, r.Jobs, r.JobsPerSec,
+			float64(r.P50Ns)/1e6, float64(r.P99Ns)/1e6, r.RoundsPerJob)
+	}
+	return b.String()
+}

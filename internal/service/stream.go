@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// StreamOp selects which streamed assertion a StreamSpec job runs.
+type StreamOp int
+
+const (
+	// StreamSum checks sum preservation between a pair input stream and
+	// a pair output stream (needs PairInput and PairOutput).
+	StreamSum StreamOp = iota
+	// StreamCount checks per-key count preservation between two pair
+	// streams (needs PairInput and PairOutput).
+	StreamCount
+	// StreamSorted checks that a sequence output is a sorted permutation
+	// of a sequence input (needs SeqInput and SeqOutput).
+	StreamSorted
+	// StreamPermutation checks that a sequence output is a permutation
+	// of a sequence input (needs SeqInput and SeqOutput).
+	StreamPermutation
+	// StreamRedistributed checks that a pair output is a redistribution
+	// of a pair input (needs PairInput and PairOutput).
+	StreamRedistributed
+)
+
+// String names the op for logs and metrics.
+func (op StreamOp) String() string {
+	switch op {
+	case StreamSum:
+		return "stream-sum"
+	case StreamCount:
+		return "stream-count"
+	case StreamSorted:
+		return "stream-sorted"
+	case StreamPermutation:
+		return "stream-permutation"
+	case StreamRedistributed:
+		return "stream-redistributed"
+	default:
+		return fmt.Sprintf("StreamOp(%d)", int(op))
+	}
+}
+
+// StreamSpec describes a streamed verification job: larger-than-RAM
+// inputs and outputs arrive as chunked sources, and the pool runs the
+// matching streamed assertion over them. The source factories are
+// called once per rank, on that rank's job goroutine, so each PE reads
+// only its share — exactly the repro.StreamedPairs / StreamedSeq
+// surface, packaged as a service job.
+type StreamSpec struct {
+	Op StreamOp
+	// PairInput/PairOutput feed the pair-stream ops (StreamSum,
+	// StreamCount, StreamRedistributed).
+	PairInput  func(rank int) repro.PairSource
+	PairOutput func(rank int) repro.PairSource
+	// SeqInput/SeqOutput feed the sequence-stream ops (StreamSorted,
+	// StreamPermutation).
+	SeqInput  func(rank int) repro.SeqSource
+	SeqOutput func(rank int) repro.SeqSource
+}
+
+// validate checks that the spec carries the sources its op consumes.
+func (s StreamSpec) validate() error {
+	needPairs := func() error {
+		if s.PairInput == nil || s.PairOutput == nil {
+			return fmt.Errorf("service: %v requires PairInput and PairOutput", s.Op)
+		}
+		return nil
+	}
+	needSeqs := func() error {
+		if s.SeqInput == nil || s.SeqOutput == nil {
+			return fmt.Errorf("service: %v requires SeqInput and SeqOutput", s.Op)
+		}
+		return nil
+	}
+	switch s.Op {
+	case StreamSum, StreamCount, StreamRedistributed:
+		return needPairs()
+	case StreamSorted, StreamPermutation:
+		return needSeqs()
+	default:
+		return fmt.Errorf("service: unknown stream op %v", s.Op)
+	}
+}
+
+// SubmitStream schedules a streamed verification job described by spec
+// and returns its handle. The job shares the pool's mesh,
+// backpressure, metrics, and failure isolation with Submit jobs; the
+// two kinds interleave freely.
+func (p *Pool) SubmitStream(name string, spec StreamSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return p.Submit(name, func(ctx *repro.Context) error {
+		r := ctx.Worker().Rank()
+		switch spec.Op {
+		case StreamSum:
+			ctx.StreamPairs(spec.PairInput(r)).AssertSum(spec.PairOutput(r))
+		case StreamCount:
+			ctx.StreamPairs(spec.PairInput(r)).AssertCount(spec.PairOutput(r))
+		case StreamRedistributed:
+			ctx.StreamPairs(spec.PairInput(r)).AssertRedistributed(spec.PairOutput(r))
+		case StreamSorted:
+			ctx.StreamSeq(spec.SeqInput(r)).AssertSorted(spec.SeqOutput(r))
+		case StreamPermutation:
+			ctx.StreamSeq(spec.SeqInput(r)).AssertPermutation(spec.SeqOutput(r))
+		}
+		return nil
+	})
+}
