@@ -113,7 +113,11 @@ experiments:
   soak          soak-and-chaos harness over the service: manipulated
                 claimed outputs plus transport bitflips and hard
                 faults; exits nonzero if any corruption escapes, any
-                clean job fails, or fault fallout leaks across jobs
+                clean job fails, or fault fallout leaks across jobs;
+                -kill-rank N additionally crashes PE N on an elastic
+                pool mid-flight and asserts detection, a single view
+                change, and checked recovery bit-identical to a
+                serial rerun
   all           everything above at default scale`)
 }
 
@@ -276,6 +280,10 @@ func runBench(args []string) error {
 	withStream := fs.Bool("stream", true, "include the streaming chunked-vs-oneshot throughput sweep")
 	withOverlap := fs.Bool("overlap", true, "include the verification-policy makespan benchmark (eager vs deferred vs overlapped)")
 	withService := fs.Bool("service", true, "include the service-pool job throughput benchmark (serial vs concurrent)")
+	withRecovery := fs.Bool("recovery", true, "include the elastic-recovery latency benchmark (kill a PE, measure detect + recover)")
+	recOpt := exp.RecoveryBenchOptions{}
+	fs.IntVar(&recOpt.Jobs, "recovery-jobs", recOpt.Jobs, "in-flight recoverable jobs per recovery episode (default 8)")
+	fs.IntVar(&recOpt.Elements, "recovery-elements", recOpt.Elements, "elements per PE per recovery job (default 1000)")
 	svcOpt := exp.ServiceBenchOptions{}
 	fs.IntVar(&svcOpt.P, "service-pes", svcOpt.P, "PEs in the service benchmark mesh (default 4)")
 	fs.IntVar(&svcOpt.Concurrency, "service-concurrency", svcOpt.Concurrency, "concurrent jobs in the service benchmark (default 64)")
@@ -358,7 +366,17 @@ func runBench(args []string) error {
 		fmt.Println()
 		fmt.Print(exp.RenderServiceBench(svcRows))
 	}
-	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows, Service: svcRows}
+	var recRows []exp.RecoveryBenchRow
+	if *withRecovery {
+		recOpt.Seed = opt.Seed
+		recRows, err = exp.RunRecoveryBench(recOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderRecoveryBench(recRows))
+	}
+	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows, Service: svcRows, Recovery: recRows}
 	if *baseline != "" {
 		base, err := exp.ReadBenchArtifact(*baseline)
 		if err != nil {
@@ -375,8 +393,8 @@ func runBench(args []string) error {
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d local, %d net, %d stream, %d overlap, and %d service rows to %s\n",
-			len(rows), len(netRows), len(streamRows), len(overlapRows), len(svcRows), *out)
+		fmt.Printf("\nwrote %d local, %d net, %d stream, %d overlap, %d service, and %d recovery rows to %s\n",
+			len(rows), len(netRows), len(streamRows), len(overlapRows), len(svcRows), len(recRows), *out)
 	}
 	return nil
 }

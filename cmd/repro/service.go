@@ -118,6 +118,8 @@ func runSoak(args []string) error {
 	fs.IntVar(&opt.CorruptEvery, "corrupt-every", 0, "corrupt every n-th corruptible job (default 3, <0 disables)")
 	fs.IntVar(&opt.Flips, "flips", 0, "transport bitflip episodes (default 4, <0 disables)")
 	fs.IntVar(&opt.Faults, "faults", 0, "hard receive-fault episodes (default 4, <0 disables)")
+	fs.IntVar(&opt.KillRank, "kill-rank", 0,
+		"phase C: crash this rank on an elastic pool mid-flight and assert checked recovery (0 disables; rank 0 unsupported)")
 	fs.Uint64Var(&opt.Seed, "seed", 0, "soak seed")
 	eager := fs.Bool("eager", false, "run jobs in CheckEager mode instead of CheckDeferred")
 	verbose := fs.Bool("v", false, "log escapes, false alarms, and chaos attribution")
@@ -157,8 +159,14 @@ func runSoak(args []string) error {
 		fmt.Printf("wrote soak result to %s\n", *out)
 	}
 	if !res.OK {
-		return fmt.Errorf("soak failed: %d escapes, %d false alarms, %d/%d flips contained, %d/%d faults contained, high-water %d",
+		msg := fmt.Sprintf("soak failed: %d escapes, %d false alarms, %d/%d flips contained, %d/%d faults contained, high-water %d",
 			res.Escapes, res.FalseAlarms, res.FlipContained, res.Flips, res.FaultContained, res.Faults, res.HighWater)
+		if ep := res.Recovery; ep != nil && !ep.OK {
+			msg += fmt.Sprintf("; recovery episode violated its contract (detected=%v, %d view changes, %d/%d recovered, %d/%d verdicts matched serial, %d wrong, %d unattributed, %d/%d post-epoch passed)",
+				ep.Detected, ep.ViewChanges, ep.Recovered, ep.InFlight,
+				ep.VerdictMatch, ep.VerdictTotal, ep.WrongVerdict, ep.Unattributed, ep.PostPassed, ep.PostJobs)
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
 }

@@ -64,9 +64,18 @@ const (
 	userTagBase = 1 << 30
 	// subTagBase is where sub-communicator tag blocks begin.
 	subTagBase int64 = 1 << 31
+	// ctlSpan is the width of the membership control region: one tag per
+	// sending PE, so a heartbeat/view-change stream between a pair of PEs
+	// never collides with any collective or sub-communicator traffic.
+	// 2^20 tags bounds the supported PE count — far above any simulated p.
+	ctlSpan int64 = 1 << 20
+	// ctlTagBase is the first membership control tag; the stream from
+	// physical rank r uses tag ctlTagBase+r.
+	ctlTagBase int64 = comm.KickTag - ctlSpan
 	// subTagLimit caps the sub-communicator space; tags at and above it
-	// are the control range (comm.KickTag).
-	subTagLimit int64 = comm.KickTag
+	// belong to the membership control region (ctlTagBase) and the kick
+	// range (comm.KickTag).
+	subTagLimit int64 = ctlTagBase
 	// subTagSpan is the tag-block width of a first-level
 	// sub-communicator: room for millions of collective operations, far
 	// beyond any round's needs, while permitting billions of
@@ -131,6 +140,15 @@ func (s *childSpace) release(base int64) {
 type Comm struct {
 	mux *comm.Mux
 
+	// members, when non-nil, restricts the communicator to a survivor
+	// view: members[logical] is the physical endpoint rank of logical
+	// rank `logical`, and myIdx is this PE's logical rank. All public
+	// rank arguments and results are logical; only send/recv translate.
+	// nil means the identity view over all endpoint ranks — the common
+	// case, kept allocation-free.
+	members []int
+	myIdx   int
+
 	// base and limit bound this communicator's ops region: the tags its
 	// own collective sequence allocates from.
 	base, limit int64
@@ -172,11 +190,41 @@ func New(ep comm.Endpoint) *Comm {
 	}
 }
 
-// Rank returns this PE's rank.
-func (c *Comm) Rank() int { return c.mux.Endpoint().Rank() }
+// Rank returns this PE's logical rank within the communicator's view
+// (its endpoint rank on a full view).
+func (c *Comm) Rank() int {
+	if c.members != nil {
+		return c.myIdx
+	}
+	return c.mux.Endpoint().Rank()
+}
 
-// Size returns the number of PEs.
-func (c *Comm) Size() int { return c.mux.Endpoint().Size() }
+// Size returns the number of PEs in the communicator's view.
+func (c *Comm) Size() int {
+	if c.members != nil {
+		return len(c.members)
+	}
+	return c.mux.Endpoint().Size()
+}
+
+// phys maps a logical rank of this communicator's view to the physical
+// endpoint rank messages are addressed with.
+func (c *Comm) phys(logical int) int {
+	if c.members != nil {
+		return c.members[logical]
+	}
+	return logical
+}
+
+// Members returns the physical endpoint ranks of the communicator's
+// view, indexed by logical rank; nil means the identity view over all
+// endpoint ranks. The slice is a copy.
+func (c *Comm) Members() []int {
+	if c.members == nil {
+		return nil
+	}
+	return append([]int(nil), c.members...)
+}
 
 // Endpoint exposes the underlying endpoint.
 func (c *Comm) Endpoint() comm.Endpoint { return c.mux.Endpoint() }
@@ -207,15 +255,56 @@ func (c *Comm) Sub() (*Comm, error) {
 	}
 	span := c.kids.span
 	sub := &Comm{
-		mux:    c.mux,
-		base:   base,
-		limit:  base + span/2,
-		end:    base + span,
-		parent: c,
+		mux:     c.mux,
+		members: c.members,
+		myIdx:   c.myIdx,
+		base:    base,
+		limit:   base + span/2,
+		end:     base + span,
+		parent:  c,
 	}
 	if childSpan := span / subFanout; childSpan >= minSubSpan {
 		sub.kids = &childSpace{span: childSpan, next: base + span/2, limit: base + span}
 	}
+	return sub, nil
+}
+
+// SubMembers is Sub restricted to a survivor view: the returned
+// communicator spans only the given physical endpoint ranks, renumbered
+// contiguously in slice order as logical ranks 0..len(members)-1, so
+// the recursive-doubling collectives run correctly over the shrunken
+// set. members must be strictly ascending, valid endpoint ranks, and
+// include the calling PE. Every member PE must call SubMembers with the
+// identical slice at the same point of its Sub/Release sequence on this
+// parent; non-members simply do not call (their allocators are allowed
+// to diverge — they are no longer part of the view).
+func (c *Comm) SubMembers(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("collective: SubMembers requires a non-empty view")
+	}
+	p := c.mux.Endpoint().Size()
+	self := c.mux.Endpoint().Rank()
+	myIdx := -1
+	for i, m := range members {
+		if m < 0 || m >= p {
+			return nil, fmt.Errorf("collective: SubMembers rank %d out of range [0, %d)", m, p)
+		}
+		if i > 0 && members[i-1] >= m {
+			return nil, fmt.Errorf("collective: SubMembers view not strictly ascending at index %d", i)
+		}
+		if m == self {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("collective: SubMembers view %v does not include this PE (rank %d)", members, self)
+	}
+	sub, err := c.Sub()
+	if err != nil {
+		return nil, err
+	}
+	sub.members = append([]int(nil), members...)
+	sub.myIdx = myIdx
 	return sub, nil
 }
 
@@ -292,9 +381,10 @@ func (c *Comm) nextTags(n int) int {
 func (c *Comm) OpsStarted() int { return int(c.ops.Load()) }
 
 // send transmits through the demultiplexed endpoint and meters the
-// traffic against this communicator.
+// traffic against this communicator. dst is a logical rank of the
+// communicator's view.
 func (c *Comm) send(dst, tag int, payload []byte) error {
-	if err := c.mux.Send(dst, tag, payload); err != nil {
+	if err := c.mux.Send(c.phys(dst), tag, payload); err != nil {
 		return err
 	}
 	c.bytesSent.Add(int64(len(payload)))
@@ -303,9 +393,10 @@ func (c *Comm) send(dst, tag int, payload []byte) error {
 }
 
 // recv receives through the demultiplexer, which routes concurrent
-// streams on one endpoint by (src, tag).
+// streams on one endpoint by (src, tag). src is a logical rank of the
+// communicator's view.
 func (c *Comm) recv(src, tag int) ([]byte, error) {
-	return c.mux.Recv(src, tag)
+	return c.mux.Recv(c.phys(src), tag)
 }
 
 // U64sToBytes encodes words little-endian, 8 bytes per word.

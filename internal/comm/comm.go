@@ -17,6 +17,28 @@ import (
 // ErrClosed is returned by operations on a closed network.
 var ErrClosed = errors.New("comm: network closed")
 
+// ErrPeerDown is the sentinel behind PeerDownError: a specific peer PE
+// died mid-run. It is deliberately distinct from ErrClosed (the whole
+// network is gone) and from operation timeouts (the run may be merely
+// wedged): peer death is attributable, survivable, and — with elastic
+// membership — recoverable, so callers branch on it with errors.Is.
+var ErrPeerDown = errors.New("comm: peer down")
+
+// PeerDownError attributes a failure to the death of one peer PE. It
+// unwraps to ErrPeerDown, so errors.Is(err, ErrPeerDown) matches while
+// the rank of the dead peer stays available via errors.As.
+type PeerDownError struct {
+	Rank int
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("comm: peer %d down", e.Rank)
+}
+
+// Unwrap makes errors.Is(err, ErrPeerDown) hold for attributed peer
+// deaths.
+func (e *PeerDownError) Unwrap() error { return ErrPeerDown }
+
 // DefaultTimeout is the per-operation deadline a network applies when
 // it is built without an explicit one: every blocking Send or Recv that
 // exceeds it fails with an error naming the stuck operation, the

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -41,6 +42,8 @@ type FaultyNetwork struct {
 	injected     atomic.Bool
 	injectedRank atomic.Int64
 	injectedTag  atomic.Int64
+	// dead is the rank whose process "crashed" (ArmPeerDown); -1 none.
+	dead atomic.Int64
 }
 
 type faultyEndpoint struct {
@@ -55,6 +58,7 @@ func NewFaultyNetwork(inner Network, target int64, bit int) *FaultyNetwork {
 	n := &FaultyNetwork{inner: inner}
 	n.target.Store(target)
 	n.bit.Store(int64(bit))
+	n.dead.Store(-1)
 	n.eps = make([]*faultyEndpoint, inner.Size())
 	for i := range n.eps {
 		n.eps[i] = &faultyEndpoint{net: n, inner: inner.Endpoint(i)}
@@ -93,6 +97,30 @@ func (n *FaultyNetwork) ArmRecvErr(delta int64) {
 // record.
 func (n *FaultyNetwork) Disarm() { n.target.Store(0) }
 
+// ArmPeerDown kills rank: from now on the dead rank's own operations
+// fail with ErrClosed (its process is gone, and its demultiplexer must
+// poison exactly like a local crash would), while survivors' sends TO
+// the dead rank are silently blackholed — a dead peer looks like
+// silence, not like an error, which is precisely why detection needs
+// heartbeats rather than send failures. Messages already in flight
+// still deliver. A control kick is sent to the dead endpoint through
+// the inner network (bypassing the blackhole) so a puller parked in its
+// RecvAny observes the crash promptly. Irreversible for the wrapped
+// network's lifetime; arm at most one rank.
+func (n *FaultyNetwork) ArmPeerDown(rank int) {
+	if rank < 0 || rank >= n.inner.Size() {
+		return
+	}
+	n.dead.Store(int64(rank))
+	if p := n.inner.Size(); p > 1 {
+		src := (rank + 1) % p
+		go func() { _ = n.inner.Endpoint(src).Send(rank, KickTag, nil) }()
+	}
+}
+
+// DeadRank returns the rank killed by ArmPeerDown, or -1.
+func (n *FaultyNetwork) DeadRank() int { return int(n.dead.Load()) }
+
 func (n *FaultyNetwork) arm(delta int64) {
 	if delta <= 0 {
 		delta = 1
@@ -127,7 +155,19 @@ func (e *faultyEndpoint) Rank() int         { return e.inner.Rank() }
 func (e *faultyEndpoint) Size() int         { return e.inner.Size() }
 func (e *faultyEndpoint) Metrics() *Metrics { return e.inner.Metrics() }
 
+// downSelf reports whether this endpoint belongs to the killed rank.
+func (e *faultyEndpoint) downSelf() bool {
+	return e.net.dead.Load() == int64(e.inner.Rank())
+}
+
 func (e *faultyEndpoint) Send(dst, tag int, payload []byte) error {
+	if e.downSelf() {
+		return fmt.Errorf("comm: PE %d is down: %w", e.inner.Rank(), ErrClosed)
+	}
+	if d := e.net.dead.Load(); d >= 0 && int(d) == dst {
+		// Blackhole: the dead peer absorbs the message without a trace.
+		return nil
+	}
 	return e.inner.Send(dst, tag, payload)
 }
 
@@ -154,6 +194,9 @@ func (e *faultyEndpoint) afterRecv(tag int, payload []byte) error {
 }
 
 func (e *faultyEndpoint) Recv(src, tag int) ([]byte, error) {
+	if e.downSelf() {
+		return nil, fmt.Errorf("comm: PE %d is down: %w", e.inner.Rank(), ErrClosed)
+	}
 	payload, err := e.inner.Recv(src, tag)
 	if err != nil {
 		return nil, err
@@ -172,9 +215,17 @@ func (e *faultyEndpoint) Recv(src, tag int) ([]byte, error) {
 // path above keeps returning the error — there the caller is the
 // addressee.
 func (e *faultyEndpoint) RecvAny() (Message, error) {
+	if e.downSelf() {
+		return Message{}, fmt.Errorf("comm: PE %d is down: %w", e.inner.Rank(), ErrClosed)
+	}
 	m, err := e.inner.RecvAny()
 	if err != nil {
 		return Message{}, err
+	}
+	if e.downSelf() {
+		// Armed while we were parked in the pull (the ArmPeerDown kick
+		// completes it): the crash wins over whatever was drawn.
+		return Message{}, fmt.Errorf("comm: PE %d is down: %w", e.inner.Rank(), ErrClosed)
 	}
 	if ferr := e.afterRecv(m.Tag, m.Payload); ferr != nil {
 		m.Fail(ferr)

@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestArmPeerDown pins the crash semantics the failure detector builds
+// on: the dead rank's own operations fail like a local crash, while
+// survivors' sends to it vanish silently — death is silence, never a
+// send error.
+func TestArmPeerDown(t *testing.T) {
+	inner := NewMemNetwork(3)
+	defer inner.Close()
+	fn := NewFaultyNetwork(inner, 0, 0)
+	if fn.DeadRank() != -1 {
+		t.Fatalf("fresh network reports dead rank %d", fn.DeadRank())
+	}
+	fn.ArmPeerDown(1)
+	if fn.DeadRank() != 1 {
+		t.Fatalf("DeadRank = %d, want 1", fn.DeadRank())
+	}
+
+	// The dead rank's own operations fail with ErrClosed.
+	if err := fn.Endpoint(1).Send(0, 5, []byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dead send: %v, want ErrClosed", err)
+	}
+	if _, err := fn.Endpoint(1).Recv(0, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dead recv: %v, want ErrClosed", err)
+	}
+	if _, err := fn.Endpoint(1).RecvAny(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dead recvany: %v, want ErrClosed", err)
+	}
+
+	// Survivors' sends to the dead rank are blackholed: nil error, no
+	// delivery, no failure signal to detect a death from.
+	if err := fn.Endpoint(0).Send(1, 5, []byte{2}); err != nil {
+		t.Fatalf("send to dead rank surfaced an error: %v", err)
+	}
+
+	// Survivor-to-survivor traffic is untouched.
+	if err := fn.Endpoint(0).Send(2, 7, []byte{3}); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	got, err := fn.Endpoint(2).Recv(0, 7)
+	if err != nil || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("survivor recv: %v %v", got, err)
+	}
+}
+
+// TestArmPeerDownOutOfRange must be a no-op.
+func TestArmPeerDownOutOfRange(t *testing.T) {
+	inner := NewMemNetwork(2)
+	defer inner.Close()
+	fn := NewFaultyNetwork(inner, 0, 0)
+	fn.ArmPeerDown(-1)
+	fn.ArmPeerDown(2)
+	if fn.DeadRank() != -1 {
+		t.Fatalf("out-of-range ArmPeerDown killed rank %d", fn.DeadRank())
+	}
+	if err := fn.Endpoint(0).Send(1, 3, []byte{9}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := fn.Endpoint(1).Recv(0, 3); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+}

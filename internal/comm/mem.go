@@ -64,6 +64,18 @@ func (n *memNetwork) Close() error {
 	return nil
 }
 
+// isClosed reports whether Close has run, for deadline branches where
+// select's pseudo-random choice may pick the timer over the closed
+// channel even though both are ready.
+func (n *memNetwork) isClosed() bool {
+	select {
+	case <-n.closed:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *memEndpoint) Rank() int         { return e.rank }
 func (e *memEndpoint) Size() int         { return len(e.net.eps) }
 func (e *memEndpoint) Metrics() *Metrics { return &e.metrics }
@@ -95,6 +107,11 @@ func (e *memEndpoint) Send(dst, tag int, payload []byte) error {
 	case <-e.net.closed:
 		return ErrClosed
 	case <-deadline:
+		if e.net.isClosed() {
+			// Teardown raced the deadline: a straggler on a closed network
+			// is closure, not deadlock — keep the taxonomy uniform with TCP.
+			return ErrClosed
+		}
 		return fmt.Errorf("comm: PE %d send to %d (tag=%d): timeout after %v; likely deadlock", e.rank, dst, tag, e.net.timeout)
 	}
 }
@@ -124,6 +141,9 @@ func (e *memEndpoint) Recv(src, tag int) ([]byte, error) {
 		case <-e.net.closed:
 			return nil, ErrClosed
 		case <-deadline:
+			if e.net.isClosed() {
+				return nil, ErrClosed
+			}
 			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): timeout after %v; likely deadlock", e.rank, src, tag, e.net.timeout)
 		}
 	}
@@ -147,6 +167,9 @@ func (e *memEndpoint) RecvAny() (Message, error) {
 	case <-e.net.closed:
 		return Message{}, ErrClosed
 	case <-deadline:
+		if e.net.isClosed() {
+			return Message{}, ErrClosed
+		}
 		return Message{}, fmt.Errorf("comm: PE %d recv (any): timeout after %v; likely deadlock", e.rank, e.net.timeout)
 	}
 }

@@ -1,6 +1,18 @@
 package comm
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrRecvDeadline reports that Mux.RecvDeadline gave up waiting before
+// a matching message arrived. It is a per-call outcome, not a Mux
+// poison: the stream stays healthy and the caller may receive again —
+// the property failure detectors rely on to probe for heartbeats
+// without killing the endpoint on every quiet interval.
+var ErrRecvDeadline = errors.New("comm: mux receive deadline expired")
 
 // Mux demultiplexes one Endpoint among concurrent receivers, the
 // mechanism that lets several collectives be in flight on one PE at
@@ -123,6 +135,38 @@ func (m *Mux) poisonFor(tag int) error {
 // concurrent receives for the same (src, tag) — tag disjointness is
 // exactly what sub-communicators provide.
 func (m *Mux) Recv(src, tag int) ([]byte, error) {
+	return m.recv(src, tag, nil)
+}
+
+// RecvDeadline is Recv bounded by timeout: if no matching message has
+// arrived when it expires, the call returns ErrRecvDeadline while the
+// Mux and the (src, tag) stream stay usable. A non-positive timeout
+// degenerates to a plain Recv. A waiter that is itself parked inside
+// the endpoint's RecvAny cannot observe the expiry until the pull
+// completes, so the timer additionally sends a self-addressed KickTag
+// control message — the same wake mechanism PoisonRange relies on —
+// bounding the wait even on an otherwise idle mesh.
+func (m *Mux) RecvDeadline(src, tag int, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return m.recv(src, tag, nil)
+	}
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		m.mu.Lock()
+		expired = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		_ = m.ep.Send(m.ep.Rank(), KickTag, nil)
+	})
+	defer timer.Stop()
+	return m.recv(src, tag, &expired)
+}
+
+// recv is the shared receive loop. expired, when non-nil, is the
+// deadline flag of a RecvDeadline call: it is only read under m.mu and
+// checked after the queue, so a message that arrived by the deadline
+// still wins.
+func (m *Mux) recv(src, tag int, expired *bool) ([]byte, error) {
 	key := muxKey{src, tag}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -141,6 +185,9 @@ func (m *Mux) Recv(src, tag int) ([]byte, error) {
 				m.queues[key] = q[1:]
 			}
 			return deliver(msg)
+		}
+		if expired != nil && *expired {
+			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): %w", m.ep.Rank(), src, tag, ErrRecvDeadline)
 		}
 		if m.pulling {
 			// Someone else is at the endpoint; it will queue our message

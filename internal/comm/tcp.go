@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -191,6 +192,36 @@ func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
 		cc := &countingConn{Conn: conn, owner: n}
 		n.eps[rank].conns[peer] = &tcpConn{c: cc, w: n.newMsgWriter(cc), timeout: n.timeout}
 	}
+	// dialRetry wraps each dial in bounded exponential backoff with
+	// jitter: in a staggered multi-host start a peer's listener may not
+	// be up yet, and its refused connection must not abort the whole
+	// mesh. The attempt cap keeps a genuinely dead peer failing well
+	// inside the setup timeout, and the loop bails out early once
+	// another goroutine has already aborted setup.
+	dialRetry := func(from, to int, addr string) (net.Conn, error) {
+		const dialAttempts = 4
+		backoff := 25 * time.Millisecond
+		var err error
+		for attempt := 0; attempt < dialAttempts; attempt++ {
+			var conn net.Conn
+			conn, err = dial(from, to, addr)
+			if err == nil {
+				return conn, nil
+			}
+			if attempt == dialAttempts-1 {
+				break
+			}
+			mu.Lock()
+			aborted := firstErr != nil
+			mu.Unlock()
+			if aborted {
+				break
+			}
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)))
+			backoff *= 2
+		}
+		return nil, err
+	}
 
 	// Rank i accepts from every lower rank and dials every higher rank,
 	// so each unordered pair gets exactly one connection.
@@ -223,7 +254,7 @@ func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
 		go func() {
 			defer wg.Done()
 			for j := i + 1; j < p; j++ {
-				conn, err := dial(i, j, listeners[j].Addr().String())
+				conn, err := dialRetry(i, j, listeners[j].Addr().String())
 				if err != nil {
 					abort(fmt.Errorf("comm: rank %d dial %d: %w", i, j, err))
 					return

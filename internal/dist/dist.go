@@ -149,13 +149,19 @@ func NewWorkers(net comm.Network, seed uint64) ([]*Worker, error) {
 // mutable state with its parent: concurrent jobs on one PE are
 // race-free, and a job's results depend only on (p, seed, commonSeed,
 // stream) — a serial rerun with the same inputs is bit-identical.
+// Rank, size, and RNG stream all derive from coll's LOGICAL rank, not
+// the endpoint rank: a job on a survivor view (collective.SubMembers)
+// then behaves exactly like a fresh p'-PE run — the property that makes
+// a recovered job's verdict bit-identical to a serial rerun over p'
+// PEs. On a full view logical and physical coincide, so existing
+// behavior is unchanged.
 func (w *Worker) JobWorker(coll *collective.Comm, commonSeed, stream uint64) *Worker {
 	return &Worker{
-		rank:       w.rank,
-		size:       w.size,
+		rank:       coll.Rank(),
+		size:       coll.Size(),
 		seed:       w.seed,
 		Coll:       coll,
-		Rng:        hashing.NewMT19937_64(hashing.Mix64(workerSeed(w.seed, w.rank) ^ hashing.Mix64(stream+jobStreamDomain))),
+		Rng:        hashing.NewMT19937_64(hashing.Mix64(workerSeed(w.seed, coll.Rank()) ^ hashing.Mix64(stream+jobStreamDomain))),
 		commonSeed: commonSeed,
 		haveCommon: true,
 	}

@@ -1,0 +1,396 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/hashing"
+)
+
+// Membership is one PE's failure detector and view agreement agent: it
+// heartbeats its ring successor over the collective control plane,
+// suspects its ring predecessor when that stream goes quiet for
+// SuspectAfter, and converges every PE's View through a consensus-free
+// DOWN broadcast with a best-effort ACK round. Removals are idempotent
+// and commutative (View.Remove), so duplicate or reordered DOWN
+// announcements from concurrent detectors still leave all survivors
+// with the identical epoch and member list — the property the paper's
+// deterministic checkers need to re-key identically on the shrunken
+// view without any leader election.
+//
+// Death is silence, not an error: a crashed peer's messages simply stop
+// (survivors' sends to it are blackholed by the transport), which is
+// why detection is driven by heartbeat absence rather than send
+// failures. One Membership serves one Worker; Start it after the mesh
+// is up and Stop it before tearing the network down.
+type Membership struct {
+	w   *Worker
+	opt MembershipOptions
+
+	// OnChange, when set before Start, runs after every applied removal
+	// with the new view. It is called from a detector goroutine without
+	// internal locks held; implementations must be quick and must not
+	// call back into this Membership's blocking methods.
+	OnChange func(View)
+
+	mu      sync.Mutex
+	view    View
+	changed chan struct{} // closed and replaced on every view change
+	stopped bool
+	acks    map[int]*ackState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// MembershipOptions tunes the detector. The zero value selects the
+// defaults noted on each field.
+type MembershipOptions struct {
+	// Interval is the heartbeat period (default 50ms).
+	Interval time.Duration
+	// SuspectAfter is how long the predecessor's control stream may stay
+	// silent before it is declared dead (default 20*Interval). It bounds
+	// detection latency from below and the false-alarm rate from above;
+	// keep it a large multiple of Interval so scheduler hiccups under
+	// load (or the race detector) never kill a live peer.
+	SuspectAfter time.Duration
+	// AckTimeout bounds the best-effort ACK collection after a DOWN
+	// broadcast (default SuspectAfter). Expiry is not an error: the
+	// broadcast already converged everyone reachable.
+	AckTimeout time.Duration
+}
+
+// WithDefaults returns o with zero fields replaced by the defaults, so
+// callers (the service layer, harnesses) can compute detection-latency
+// bounds from the values actually in effect.
+func (o MembershipOptions) WithDefaults() MembershipOptions {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 20 * o.Interval
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = o.SuspectAfter
+	}
+	return o
+}
+
+// errMembershipStopped poisons this PE's control streams on Stop.
+var errMembershipStopped = errors.New("dist: membership stopped")
+
+// Control message layout: [kind, arg, epoch, checksum]. The checksum
+// keys the other three words with ctlMagic, so a control message hit by
+// injected bit corruption is dropped instead of faking a peer death —
+// the control plane must be harder to fool than the data plane it
+// guards.
+const (
+	ctlMsgWords = 4
+	ctlHB       = 1 // heartbeat; arg unused
+	ctlDown     = 2 // arg = dead physical rank
+	ctlAck      = 3 // arg = dead physical rank being acknowledged
+	ctlMagic    = 0x6d656d6273686970 // "membship"
+)
+
+type ackState struct {
+	want int
+	got  int
+	done chan struct{}
+}
+
+func ctlChecksum(kind, arg, epoch uint64) uint64 {
+	return hashing.Mix64(kind ^ hashing.Mix64(arg^hashing.Mix64(epoch^ctlMagic)))
+}
+
+func ctlMsg(kind, arg, epoch uint64) []uint64 {
+	return []uint64{kind, arg, epoch, ctlChecksum(kind, arg, epoch)}
+}
+
+// decodeCtl validates a control message; ok is false for truncated or
+// corrupted payloads (dropped silently by callers).
+func decodeCtl(words []uint64) (kind, arg, epoch uint64, ok bool) {
+	if len(words) != ctlMsgWords {
+		return 0, 0, 0, false
+	}
+	if ctlChecksum(words[0], words[1], words[2]) != words[3] {
+		return 0, 0, 0, false
+	}
+	return words[0], words[1], words[2], true
+}
+
+// NewMembership builds the detector for w over w.Coll's control plane,
+// starting from the full view. Call Start to begin probing.
+func NewMembership(w *Worker, opt MembershipOptions) *Membership {
+	return &Membership{
+		w:       w,
+		opt:     opt.WithDefaults(),
+		view:    FullView(w.Coll.Endpoint().Size()),
+		changed: make(chan struct{}),
+		acks:    make(map[int]*ackState),
+		stop:    make(chan struct{}),
+	}
+}
+
+// View returns the current membership snapshot.
+func (m *Membership) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view
+}
+
+// Epoch returns the current view's epoch.
+func (m *Membership) Epoch() int { return m.View().Epoch() }
+
+// self returns this PE's physical rank.
+func (m *Membership) self() int { return m.w.Coll.Endpoint().Rank() }
+
+// Start launches the heartbeat loop and one listener per peer. A
+// single-PE world needs no detector; Start is then a no-op.
+func (m *Membership) Start() {
+	p := m.w.Coll.Endpoint().Size()
+	if p < 2 {
+		return
+	}
+	m.wg.Add(1)
+	go m.beatLoop()
+	for r := 0; r < p; r++ {
+		if r == m.self() {
+			continue
+		}
+		m.wg.Add(1)
+		go m.listen(r)
+	}
+}
+
+// Stop shuts the detector down: the heartbeat loop exits, every control
+// stream on this endpoint is poisoned so listeners unblock, and all
+// goroutines are awaited. The Membership is finished afterwards.
+func (m *Membership) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stop)
+	p := m.w.Coll.Endpoint().Size()
+	for r := 0; r < p; r++ {
+		if r != m.self() {
+			m.w.Coll.PoisonCtl(r, errMembershipStopped)
+		}
+	}
+	_ = m.w.Coll.KickSelf()
+	m.wg.Wait()
+}
+
+// successor returns the ring successor of self in v, or -1 when self is
+// alone or not a member.
+func (m *Membership) successor(v View) int {
+	idx := v.Index(m.self())
+	if idx < 0 || v.Size() < 2 {
+		return -1
+	}
+	return v.Members()[(idx+1)%v.Size()]
+}
+
+// predecessor returns the ring predecessor of self in v, or -1.
+func (m *Membership) predecessor(v View) int {
+	idx := v.Index(m.self())
+	if idx < 0 || v.Size() < 2 {
+		return -1
+	}
+	return v.Members()[(idx-1+v.Size())%v.Size()]
+}
+
+// beatLoop heartbeats the current ring successor every Interval. The
+// successor is recomputed per tick, so a view change redirects the
+// probe stream within one period.
+func (m *Membership) beatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		v := m.View()
+		succ := m.successor(v)
+		if succ < 0 {
+			continue
+		}
+		if err := m.w.Coll.SendCtl(succ, ctlMsg(ctlHB, 0, uint64(v.Epoch()))); err != nil {
+			// The network is gone (or this PE itself was killed by the
+			// chaos harness): nothing left to probe.
+			return
+		}
+	}
+}
+
+// listen drains physical rank src's control stream: heartbeats arm the
+// next deadline, DOWN announcements are applied and acknowledged, ACKs
+// feed the pending broadcast bookkeeping. A SuspectAfter of silence
+// convicts src only while src is this PE's current ring predecessor —
+// every other stream is legitimately quiet.
+func (m *Membership) listen(src int) {
+	defer m.wg.Done()
+	// wasPred remembers whether src was already this PE's ring
+	// predecessor at the previous wake-up. Conviction requires a full
+	// SuspectAfter of silence *while predecessor*: when a view change
+	// re-targets the predecessor, the new one's stream has been
+	// legitimately quiet (it was heartbeating its old successor), so it
+	// gets a fresh window instead of being charged that stale silence —
+	// otherwise one real death cascades into false convictions of the
+	// re-targeted predecessors.
+	wasPred := false
+	for {
+		words, err := m.w.Coll.RecvCtl(src, m.opt.SuspectAfter)
+		if err != nil {
+			if errors.Is(err, comm.ErrRecvDeadline) {
+				m.mu.Lock()
+				stopped := m.stopped
+				v := m.view
+				m.mu.Unlock()
+				if stopped {
+					return
+				}
+				isPred := m.predecessor(v) == src
+				if isPred && wasPred {
+					m.ReportDown(src)
+				}
+				wasPred = isPred
+				if !m.View().Contains(src) {
+					return
+				}
+				continue
+			}
+			// Poison (peer declared dead, Stop) or transport closure.
+			return
+		}
+		wasPred = m.predecessor(m.View()) == src
+		kind, arg, _, ok := decodeCtl(words)
+		if !ok {
+			continue // corrupted control message: drop, never act on it
+		}
+		switch kind {
+		case ctlHB:
+			// Receipt alone is the signal; the next RecvCtl re-arms the
+			// suspicion deadline.
+		case ctlDown:
+			m.applyDown(int(arg))
+			// ACK even a duplicate: the broadcaster wants receipt, and
+			// the removal it credits was applied either way.
+			_ = m.w.Coll.SendCtl(src, ctlMsg(ctlAck, arg, uint64(m.Epoch())))
+		case ctlAck:
+			m.noteAck(int(arg))
+		}
+	}
+}
+
+// applyDown removes rank from the view if still present, poisons its
+// control stream, and fires OnChange. It returns the new view, or nil
+// when the removal was already applied (the idempotent no-op that makes
+// duplicate DOWNs harmless).
+func (m *Membership) applyDown(rank int) *View {
+	m.mu.Lock()
+	if m.stopped || !m.view.Contains(rank) || rank == m.self() {
+		m.mu.Unlock()
+		return nil
+	}
+	m.view = m.view.Remove(rank)
+	v := m.view
+	close(m.changed)
+	m.changed = make(chan struct{})
+	m.mu.Unlock()
+	m.w.Coll.PoisonCtl(rank, &comm.PeerDownError{Rank: rank})
+	if m.OnChange != nil {
+		m.OnChange(v)
+	}
+	return &v
+}
+
+// ReportDown declares rank dead: the removal is applied locally and
+// announced to every survivor, then ACKs are collected best-effort for
+// up to AckTimeout. Safe to call from any goroutine, including service
+// code that obtained out-of-band evidence of a death; duplicates are
+// no-ops.
+func (m *Membership) ReportDown(rank int) {
+	v := m.applyDown(rank)
+	if v == nil {
+		return
+	}
+	peers := make([]int, 0, v.Size()-1)
+	for _, r := range v.Members() {
+		if r != m.self() {
+			peers = append(peers, r)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	st := &ackState{want: len(peers), done: make(chan struct{})}
+	m.mu.Lock()
+	m.acks[rank] = st
+	m.mu.Unlock()
+	msg := ctlMsg(ctlDown, uint64(rank), uint64(v.Epoch()))
+	for _, r := range peers {
+		_ = m.w.Coll.SendCtl(r, msg)
+	}
+	timer := time.NewTimer(m.opt.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-st.done:
+	case <-timer.C:
+	case <-m.stop:
+	}
+	m.mu.Lock()
+	delete(m.acks, rank)
+	m.mu.Unlock()
+}
+
+// noteAck credits one acknowledgement toward a pending DOWN broadcast.
+func (m *Membership) noteAck(rank int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.acks[rank]
+	if st == nil {
+		return
+	}
+	st.got++
+	if st.got == st.want {
+		close(st.done)
+	}
+}
+
+// WaitEpoch blocks until the view's epoch reaches at least target or
+// timeout expires, reporting whether the epoch was reached. It is how
+// harnesses bound detection latency and how the service awaits view
+// agreement before admitting recovery work.
+func (m *Membership) WaitEpoch(target int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		if m.view.Epoch() >= target {
+			m.mu.Unlock()
+			return true
+		}
+		ch := m.changed
+		m.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// startDetectors brings up one Membership per rank on a faulty-wrapped
+// in-memory mesh with fast test timings and returns them with their
+// workers and the fault injector.
+func startDetectors(t *testing.T, p int) (*comm.FaultyNetwork, []*Worker, []*Membership) {
+	t.Helper()
+	inner := comm.NewMemNetwork(p)
+	fn := comm.NewFaultyNetwork(inner, 0, 0)
+	workers, err := NewWorkers(fn, 99)
+	if err != nil {
+		inner.Close()
+		t.Fatalf("workers: %v", err)
+	}
+	opt := MembershipOptions{Interval: 5 * time.Millisecond, SuspectAfter: 60 * time.Millisecond}
+	ms := make([]*Membership, p)
+	for r := range ms {
+		ms[r] = NewMembership(workers[r], opt)
+	}
+	for _, m := range ms {
+		m.Start()
+	}
+	t.Cleanup(func() {
+		for _, m := range ms {
+			m.Stop()
+		}
+		inner.Close()
+	})
+	return fn, workers, ms
+}
+
+// TestMembershipDetectsDeath kills one rank and requires every survivor
+// to converge on the identical epoch-1 view within the detection bound.
+func TestMembershipDetectsDeath(t *testing.T) {
+	const p, victim = 4, 2
+	fn, _, ms := startDetectors(t, p)
+
+	fn.ArmPeerDown(victim)
+	for r, m := range ms {
+		if r == victim {
+			continue
+		}
+		if !m.WaitEpoch(1, 10*time.Second) {
+			t.Fatalf("rank %d never reached epoch 1", r)
+		}
+		v := m.View()
+		if v.Epoch() != 1 || v.Size() != p-1 || v.Contains(victim) {
+			t.Fatalf("rank %d view %v after death of %d", r, v, victim)
+		}
+		want := []int{0, 1, 3}
+		got := v.Members()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d members %v, want %v", r, got, want)
+			}
+		}
+	}
+}
+
+// TestMembershipNoFalseAlarms leaves the mesh quiet but alive for many
+// suspicion windows: nobody may be convicted.
+func TestMembershipNoFalseAlarms(t *testing.T) {
+	const p = 4
+	_, _, ms := startDetectors(t, p)
+
+	time.Sleep(400 * time.Millisecond) // ~6 suspicion windows of idle heartbeating
+	for r, m := range ms {
+		if e := m.Epoch(); e != 0 {
+			t.Fatalf("rank %d convicted a live peer: epoch %d, view %v", r, e, m.View())
+		}
+	}
+}
+
+// TestViewRemoveIdempotent pins the consensus-free convergence
+// property: removals commute and repeat harmlessly.
+func TestViewRemoveIdempotent(t *testing.T) {
+	v := FullView(4)
+	v1 := v.Remove(2)
+	if v1.Epoch() != 1 || v1.Contains(2) {
+		t.Fatalf("first removal: %v", v1)
+	}
+	v2 := v1.Remove(2)
+	if v2.Epoch() != v1.Epoch() || v2.Size() != v1.Size() {
+		t.Fatalf("duplicate removal changed the view: %v", v2)
+	}
+	// Different orders converge to the same membership and epoch.
+	a := v.Remove(1).Remove(3)
+	b := v.Remove(3).Remove(1)
+	if a.Epoch() != b.Epoch() || a.Size() != b.Size() {
+		t.Fatalf("order-dependent views: %v vs %v", a, b)
+	}
+	am, bm := a.Members(), b.Members()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("order-dependent members: %v vs %v", am, bm)
+		}
+	}
+}

@@ -15,8 +15,9 @@ type BenchArtifact struct {
 	Local   []LocalBenchRow   `json:"local,omitempty"`
 	Net     []NetBenchRow     `json:"net,omitempty"`
 	Stream  []StreamBenchRow  `json:"stream,omitempty"`
-	Overlap []OverlapBenchRow `json:"overlap,omitempty"`
-	Service []ServiceBenchRow `json:"service,omitempty"`
+	Overlap  []OverlapBenchRow  `json:"overlap,omitempty"`
+	Service  []ServiceBenchRow  `json:"service,omitempty"`
+	Recovery []RecoveryBenchRow `json:"recovery,omitempty"`
 }
 
 // ReadBenchArtifact loads a baseline artifact from disk.
@@ -119,6 +120,17 @@ func DiffBench(baseline, current BenchArtifact) []BenchDelta {
 		key := fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency)
 		if base, ok := svc[key]; ok {
 			add(key, base, r.NsPerJob)
+		}
+	}
+
+	rec := map[string]float64{}
+	for _, r := range baseline.Recovery {
+		rec[fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P)] = float64(r.RecoverNs)
+	}
+	for _, r := range current.Recovery {
+		key := fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P)
+		if base, ok := rec[key]; ok {
+			add(key, base, float64(r.RecoverNs))
 		}
 	}
 	return deltas

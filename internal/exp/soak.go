@@ -38,6 +38,10 @@ type SoakOptions struct {
 	Dist     dist.Config     // transport (default mem)
 	// JobTimeout backstops wedged jobs (default 60s).
 	JobTimeout time.Duration
+	// KillRank, when >= 1, runs phase C: an elastic pool with that rank
+	// crashed mid-flight and the full recovery contract asserted
+	// (0 disables; rank 0 is not a supported victim).
+	KillRank int
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
 }
@@ -107,6 +111,10 @@ type SoakResult struct {
 	FlipContained  int `json:"flip_contained"`  // ...whose fallout stayed in the hit job
 	Faults         int `json:"faults"`          // hard-fault episodes that landed
 	FaultContained int `json:"fault_contained"` // ...contained, pool survived
+
+	// Recovery is the phase-C kill-a-rank episode (nil unless KillRank
+	// was set).
+	Recovery *RecoveryEpisode `json:"recovery,omitempty"`
 
 	HighWater    int     `json:"high_water"`
 	JobsPerSec   float64 `json:"jobs_per_sec"`
@@ -488,6 +496,16 @@ func Soak(opt SoakOptions) (SoakResult, error) {
 		}
 	}
 
+	// ---- Phase C: kill a PE on an elastic pool, assert recovery ----
+	if opt.KillRank > 0 {
+		opt.Verbose("soak: phase C: killing rank %d on a fresh elastic mesh", opt.KillRank)
+		ep, eerr := RunRecoveryEpisode(opt)
+		if eerr != nil {
+			return res, fmt.Errorf("soak: recovery episode: %w", eerr)
+		}
+		res.Recovery = &ep
+	}
+
 	st := pool.Stats()
 	res.HighWater = st.HighWater
 	res.P50Ns = st.P50Ns
@@ -509,7 +527,8 @@ func Soak(opt SoakOptions) (SoakResult, error) {
 		res.Detected == res.Corrupted &&
 		res.FlipContained == res.Flips &&
 		res.FaultContained == res.Faults &&
-		res.HighWater >= wantHW
+		res.HighWater >= wantHW &&
+		(res.Recovery == nil || res.Recovery.OK)
 	return res, nil
 }
 
@@ -545,6 +564,13 @@ func RenderSoak(r SoakResult) string {
 		r.Detected, r.Corrupted, r.Escapes, r.FalseAlarms)
 	app("transport chaos: %d/%d bitflips contained, %d/%d hard faults contained\n",
 		r.FlipContained, r.Flips, r.FaultContained, r.Faults)
+	if ep := r.Recovery; ep != nil {
+		app("recovery: rank %d killed, detected in %.1fms (epoch %d, %d alive, %d view change(s))\n",
+			ep.KilledRank, float64(ep.DetectNs)/1e6, ep.Epoch, ep.Alive, ep.ViewChanges)
+		app("recovery: %d/%d in-flight jobs recovered in %.1fms, %d/%d verdicts bit-identical to serial rerun, %d/%d post-epoch jobs passed\n",
+			ep.Recovered, ep.InFlight, float64(ep.RecoverNs)/1e6,
+			ep.VerdictMatch, ep.VerdictTotal, ep.PostPassed, ep.PostJobs)
+	}
 	app("per job: %.0f bytes, %.1f rounds\n", r.BytesPerJob, r.RoundsPerJob)
 	if r.OK {
 		app("\nSOAK OK\n")

@@ -1,0 +1,242 @@
+package recover
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+	"repro/internal/ops"
+)
+
+var testPermCfg = core.PermConfig{Family: hashing.FamilyTab, LogH: 32, Iterations: 2}
+
+func deadShare(n int, seed uint64) []data.Pair {
+	rng := hashing.NewMT19937_64(seed)
+	share := make([]data.Pair, n)
+	for i := range share {
+		share[i] = data.Pair{Key: rng.Uint64() % 4096, Value: rng.Uint64() % (1 << 20)}
+	}
+	return share
+}
+
+// runReshard executes Reshard on every rank of a fresh p-PE mesh with
+// the dead share's chunks held at holder, returning each rank's
+// received pairs and errors.
+func runReshard(t *testing.T, net comm.Network, p, holder int, share []data.Pair) ([][]data.Pair, []error) {
+	t.Helper()
+	workers, err := dist.NewWorkers(net, 17)
+	if err != nil {
+		t.Fatalf("workers: %v", err)
+	}
+	st := NewStore(16)
+	st.RetainReplica(7, 99, share) // owner 99: the "dead" rank of a wider mesh
+	received := make([][]data.Pair, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var held []Chunk
+			if r == holder {
+				held = st.Held(7, 99)
+			}
+			received[r], errs[r] = Reshard(workers[r], testPermCfg, held)
+		}(r)
+	}
+	wg.Wait()
+	return received, errs
+}
+
+// TestReshardMoves asserts the recovery move end to end: the union of
+// what the survivors received is exactly the dead share (as a multiset)
+// and every pair landed on the PE its key hashes to.
+func TestReshardMoves(t *testing.T) {
+	const p, holder = 3, 1
+	share := deadShare(500, 5)
+	net := comm.NewMemNetwork(p)
+	defer net.Close()
+	received, errs := runReshard(t, net, p, holder, share)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	// Placement: the reshard partitioner is keyed off the mesh's common
+	// seed, reconstructible here the same way Reshard derives it.
+	solo := comm.NewMemNetwork(1)
+	defer solo.Close()
+	workers, err := dist.NewWorkers(solo, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := workers[0].CommonSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ops.NewPartitioner(hashing.Mix64(seed^0x7265736861726421), p)
+	var got []data.Pair
+	for r, part := range received {
+		for _, pr := range part {
+			if pt.PE(pr.Key) != r {
+				t.Fatalf("pair %v landed on rank %d, want %d", pr, r, pt.PE(pr.Key))
+			}
+		}
+		got = append(got, part...)
+	}
+
+	// Multiset preservation.
+	if len(got) != len(share) {
+		t.Fatalf("received %d pairs, dead share had %d", len(got), len(share))
+	}
+	want := append([]data.Pair(nil), share...)
+	less := func(ps []data.Pair) func(i, j int) bool {
+		return func(i, j int) bool {
+			if ps[i].Key != ps[j].Key {
+				return ps[i].Key < ps[j].Key
+			}
+			return ps[i].Value < ps[j].Value
+		}
+	}
+	sort.Slice(got, less(got))
+	sort.Slice(want, less(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset differs at %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// flipOnce corrupts the first sufficiently large data-plane payload
+// after it is armed — with the common seed already cached, that is the
+// reshard's AllToAll traffic.
+type flipOnce struct {
+	comm.Network
+	mu    sync.Mutex
+	armed bool
+}
+
+type flipOnceEndpoint struct {
+	comm.Endpoint
+	net *flipOnce
+}
+
+func (n *flipOnce) Endpoint(rank int) comm.Endpoint {
+	return &flipOnceEndpoint{Endpoint: n.Network.Endpoint(rank), net: n}
+}
+
+func (e *flipOnceEndpoint) Send(dst, tag int, payload []byte) error {
+	e.net.mu.Lock()
+	if e.net.armed && len(payload) >= 16 {
+		payload = append([]byte(nil), payload...)
+		payload[8] ^= 1 // one bit in the first pair's words
+		e.net.armed = false
+	}
+	e.net.mu.Unlock()
+	return e.Endpoint.Send(dst, tag, payload)
+}
+
+// TestReshardRejectsCorruptMove flips one bit in the resharded data in
+// flight: the redistribution checker must refuse the move on every
+// rank rather than hand a survivor corrupt recovery input.
+func TestReshardRejectsCorruptMove(t *testing.T) {
+	const p, holder = 3, 1
+	share := deadShare(300, 9)
+	inner := comm.NewMemNetwork(p)
+	defer inner.Close()
+	fo := &flipOnce{Network: inner}
+
+	// Cache the common seed first so the broadcast under Reshard's seed
+	// derivation is not the flipped message.
+	workers, err := dist.NewWorkers(fo, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := workers[r].CommonSeed(); err != nil {
+				t.Errorf("rank %d common seed: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	st := NewStore(16)
+	st.RetainReplica(7, 99, share)
+	fo.mu.Lock()
+	fo.armed = true
+	fo.mu.Unlock()
+
+	rejected := 0
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var held []Chunk
+			if r == holder {
+				held = st.Held(7, 99)
+			}
+			_, errs[r] = Reshard(workers[r], testPermCfg, held)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if errors.Is(err, ErrReshardRejected) {
+			rejected++
+		} else if err != nil {
+			t.Fatalf("rank %d: unexpected error class: %v", r, err)
+		}
+	}
+	if rejected != p {
+		t.Fatalf("corrupt reshard rejected on %d/%d ranks", rejected, p)
+	}
+}
+
+// TestStoreRetention pins the Store lifecycle and the ring-buddy
+// invariant.
+func TestStoreRetention(t *testing.T) {
+	st := NewStore(4)
+	members := []int{0, 2, 5}
+	share := deadShare(10, 3)
+	st.Retain(1, 2, members, share)
+	st.RetainReplica(1, 0, share[:6])
+
+	if got := Pairs(st.Own(1)); len(got) != 10 {
+		t.Fatalf("own pairs %d, want 10", len(got))
+	}
+	if got := st.Held(1, 0); len(Pairs(got)) != 6 {
+		t.Fatalf("held pairs %d, want 6", len(Pairs(got)))
+	}
+	if st.Held(1, 5) != nil {
+		t.Fatal("held chunks returned for a rank we do not hold")
+	}
+	if m := st.Members(1); len(m) != 3 || m[1] != 2 {
+		t.Fatalf("members %v", m)
+	}
+	st.Drop(1)
+	if st.Own(1) != nil || st.Held(1, 0) != nil {
+		t.Fatal("drop left retention behind")
+	}
+
+	// Ring buddies: successor in the submit view, wrapping.
+	if h := ReplicaHolder(members, 5); h != 0 {
+		t.Fatalf("holder of 5 = %d, want 0", h)
+	}
+	if h := ReplicaHolder(members, 0); h != 2 {
+		t.Fatalf("holder of 0 = %d, want 2", h)
+	}
+	if h := ReplicaHolder(members, 7); h != -1 {
+		t.Fatalf("holder of non-member = %d, want -1", h)
+	}
+}

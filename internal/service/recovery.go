@@ -1,0 +1,363 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/dist"
+	recov "repro/internal/recover"
+)
+
+// ElasticOptions enables elastic membership on a pool: a per-rank
+// failure detector (heartbeats over the control tag plane), an agreed
+// epoch-numbered view, and checked recovery for recoverable jobs. The
+// zero value of each field selects the dist.MembershipOptions /
+// recover.Store defaults.
+type ElasticOptions struct {
+	// Heartbeat is the probe period (default 50ms).
+	Heartbeat time.Duration
+	// SuspectAfter is the silence threshold convicting a peer (default
+	// 20*Heartbeat); it lower-bounds detection latency and upper-bounds
+	// the false-alarm rate.
+	SuspectAfter time.Duration
+	// RetainChunk is the retention chunk granularity in pairs for
+	// recoverable jobs (default recover.DefaultChunkPairs).
+	RetainChunk int
+}
+
+// RecoverableBody is the body of a recoverable job: SPMD code over the
+// job's Context plus this rank's input share. On a peer death the pool
+// reshards the lost share onto the survivors (verified by the
+// redistribution checker) and replays the body on the shrunken view
+// with the augmented shares — so the body must be a deterministic
+// function of (ctx, share), which is also what makes the replayed
+// verdict bit-identical to a serial rerun.
+type RecoverableBody func(ctx *repro.Context, share []data.Pair) error
+
+// SubmitRecoverable schedules a recoverable job under the pool's
+// default checker options: shares[i] is logical rank i's input share
+// under the current view (len(shares) must equal the view size). The
+// pool retains each share — chunked, plus a ring-buddy replica minted
+// with one neighbour exchange — so that if a PE dies mid-job the job
+// replays on the survivors instead of failing. Without ElasticOptions
+// the job runs like a plain Submit (no retention, no replay).
+func (p *Pool) SubmitRecoverable(name string, shares [][]data.Pair, body RecoverableBody) (*Job, error) {
+	return p.SubmitRecoverableWith(name, p.opts.Repro, shares, body)
+}
+
+// SubmitRecoverableWith is SubmitRecoverable with per-job checker
+// options.
+func (p *Pool) SubmitRecoverableWith(name string, opts repro.Options, shares [][]data.Pair, body RecoverableBody) (*Job, error) {
+	if body == nil {
+		return nil, errors.New("service: nil recoverable job body")
+	}
+	return p.submit(name, opts, jobSpec{opts: opts, rbody: body, shares: shares})
+}
+
+// View returns the pool's current membership view (the full view when
+// elastic membership is disabled).
+func (p *Pool) View() dist.View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.viewLocked()
+}
+
+func (p *Pool) viewLocked() dist.View {
+	if p.memberships == nil {
+		return dist.FullView(p.opts.P)
+	}
+	return p.view
+}
+
+// WaitEpoch blocks until the pool's view reaches at least epoch or
+// timeout expires, reporting whether it did — how harnesses bound
+// detection latency and await view agreement before admitting new work.
+func (p *Pool) WaitEpoch(epoch int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		if p.viewLocked().Epoch() >= epoch {
+			p.mu.Unlock()
+			return true
+		}
+		ch := p.viewChangedCh
+		p.mu.Unlock()
+		if ch == nil {
+			return false // elastic membership disabled: epoch stays 0
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// onViewChange is every rank's Membership callback. The detectors
+// converge to identical views, so the first rank to report an epoch
+// wins and the duplicates are dropped; the pool-level view is what
+// submissions and recovery key off.
+func (p *Pool) onViewChange(v dist.View) {
+	p.mu.Lock()
+	if v.Epoch() <= p.view.Epoch() {
+		p.mu.Unlock()
+		return
+	}
+	p.view = v
+	p.viewChanges++
+	close(p.viewChangedCh)
+	p.viewChangedCh = make(chan struct{})
+	p.mu.Unlock()
+	// Wake parked pullers everywhere: in-flight jobs touching the dead
+	// rank must observe their aborts promptly even on an idle mesh.
+	p.kickAll()
+}
+
+// awaitDeath gives the failure detector time to attribute a job's
+// infrastructure failure to a peer death: it waits (bounded by a
+// multiple of the suspicion threshold) for the pool view to advance
+// past the job's submit epoch and returns the job member that fell out.
+// Not every abort is a death — an injected transport fault or timeout
+// leaves the view unchanged and returns ok=false, preserving the
+// tier-2 abort-and-quarantine classification.
+func (p *Pool) awaitDeath(j *Job) (dead int, ok bool) {
+	bound := 4 * p.elasticOpts.SuspectAfter
+	deadline := time.Now().Add(bound)
+	for {
+		v := p.View()
+		if v.Epoch() > j.epoch {
+			for _, m := range j.members {
+				if !v.Contains(m) {
+					return m, true
+				}
+			}
+		}
+		p.mu.Lock()
+		ch := p.viewChangedCh
+		p.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 || ch == nil {
+			return -1, false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return -1, false
+		}
+	}
+}
+
+// recoverJob replays a recoverable job on the survivors of its view
+// after dead's death: fresh view sub-communicators are minted
+// lock-step, the dead rank's retained chunks are resharded onto the
+// survivors under redistribution-checker verification, and the body
+// reruns with the augmented shares. Returns nil on a clean replay, an
+// error unwrapping to repro.ErrCheckFailed when the replayed checkers
+// rejected (a verdict, faithfully recovered), or any other error when
+// recovery itself failed (reshard rejected, double failure, transport).
+func (p *Pool) recoverJob(j *Job, spec jobSpec, dead int) error {
+	newMembers := make([]int, 0, len(j.members)-1)
+	wasMember := false
+	for _, m := range j.members {
+		if m == dead {
+			wasMember = true
+			continue
+		}
+		newMembers = append(newMembers, m)
+	}
+	if !wasMember || len(newMembers) == 0 {
+		return fmt.Errorf("service: job %d %q: no survivor view after PE %d died", j.id, j.name, dead)
+	}
+	holder := recov.ReplicaHolder(j.members, dead)
+	holderAlive := false
+	for _, m := range newMembers {
+		if m == holder {
+			holderAlive = true
+		}
+	}
+	if !holderAlive {
+		return fmt.Errorf("service: job %d %q unrecoverable: replica holder %d of dead PE %d is gone too (double failure)", j.id, j.name, holder, dead)
+	}
+
+	// Mint the survivor-view sub-communicators inside one critical
+	// section, exactly like submission: every survivor's allocator sees
+	// the same sequence, so the blocks agree.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	subs := make([]*collective.Comm, len(newMembers))
+	for i, phys := range newMembers {
+		sub, err := p.workers[phys].Coll.SubMembers(newMembers)
+		if err != nil {
+			for _, s := range subs[:i] {
+				s.Release()
+			}
+			p.mu.Unlock()
+			return fmt.Errorf("service: job %d %q recovery: %w", j.id, j.name, err)
+		}
+		subs[i] = sub
+	}
+	lo, hi := subs[0].Block()
+	for i, s := range subs[1:] {
+		if l, h := s.Block(); l != lo || h != hi {
+			p.mu.Unlock()
+			return fmt.Errorf("service: internal: job %d recovery tag blocks diverged: rank %d [%d,%d) vs rank %d [%d,%d)", j.id, newMembers[0], lo, hi, newMembers[i+1], l, h)
+		}
+	}
+	p.mu.Unlock()
+
+	shares := make([][]data.Pair, len(newMembers))
+	var (
+		jmu      sync.Mutex
+		firstErr error
+		finished bool
+	)
+	fail := func(err error) {
+		jmu.Lock()
+		defer jmu.Unlock()
+		if finished || firstErr != nil {
+			return
+		}
+		firstErr = err
+		if errors.Is(err, repro.ErrCheckFailed) {
+			return
+		}
+		cause := fmt.Errorf("%w: %v", errJobAborted, err)
+		for _, sub := range subs {
+			sub.Abort(cause)
+		}
+		p.kickAll()
+	}
+	var watchdog *time.Timer
+	if p.opts.JobTimeout > 0 {
+		watchdog = time.AfterFunc(p.opts.JobTimeout, func() {
+			fail(fmt.Errorf("service: job %d %q recovery exceeded timeout %v", j.id, j.name, p.opts.JobTimeout))
+		})
+	}
+	var wg sync.WaitGroup
+	for i, phys := range newMembers {
+		wg.Add(1)
+		go func(i, phys int) {
+			defer wg.Done()
+			if err := p.runRecoveryRank(j, i, phys, subs[i], spec, dead, shares); err != nil {
+				fail(err)
+			}
+		}(i, phys)
+	}
+	wg.Wait()
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	jmu.Lock()
+	finished = true
+	err := firstErr
+	jmu.Unlock()
+
+	if err == nil || errors.Is(err, repro.ErrCheckFailed) {
+		p.mu.Lock()
+		for _, sub := range subs {
+			sub.Release()
+		}
+		p.mu.Unlock()
+	}
+	// As in runJob, an aborted replay quarantines its block.
+	j.recoveryMembers = newMembers
+	j.recoveredShares = shares
+	return err
+}
+
+// runRecoveryRank is one survivor's share of a replay: reshard the dead
+// rank's chunks (held in full only at the replica holder) under
+// checker verification, rebuild this rank's share as own + received,
+// and rerun the body over a fresh Context on the survivor view.
+func (p *Pool) runRecoveryRank(j *Job, i, phys int, sub *collective.Comm, spec jobSpec, dead int, shares [][]data.Pair) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("service: job %d %q recovery: PE %d panicked: %v\n%s", j.id, j.name, phys, v, debug.Stack())
+		}
+	}()
+	w := p.workers[phys].JobWorker(sub, j.seed, uint64(j.id))
+	ctx, cerr := repro.NewContext(w, spec.opts)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if ctx.Outstanding() {
+			verr := ctx.Verify()
+			if err == nil {
+				err = verr
+			}
+		}
+		if i == 0 {
+			j.stats = ctx.Stats()
+			j.sums = ctx.VerifySummaries()
+		}
+	}()
+	permCfg := spec.opts.Perm
+	if permCfg.Iterations == 0 {
+		permCfg = repro.DefaultOptions().Perm
+	}
+	held := p.stores[phys].Held(uint64(j.id), dead)
+	received, rerr := recov.Reshard(w, permCfg, held)
+	if rerr != nil {
+		return rerr
+	}
+	share := append(recov.Pairs(p.stores[phys].Own(uint64(j.id))), received...)
+	shares[i] = share
+	if berr := spec.rbody(ctx, share); berr != nil {
+		return berr
+	}
+	return ctx.Verify()
+}
+
+// retain checkpoints a recoverable job's share on this rank: the share
+// itself, chunked, plus one neighbour exchange that leaves each share's
+// replica at its ring successor — the invariant that keeps every share
+// held somewhere after any single death.
+func (p *Pool) retain(j *Job, phys int, coll *collective.Comm, share []data.Pair) error {
+	if p.stores == nil {
+		return nil // elastic membership disabled: run like a plain job
+	}
+	p.stores[phys].Retain(uint64(j.id), phys, j.members, share)
+	pred, predShare, err := recov.ExchangeReplicas(coll, share)
+	if err != nil {
+		return err
+	}
+	if pred >= 0 {
+		p.stores[phys].RetainReplica(uint64(j.id), pred, predShare)
+	}
+	return nil
+}
+
+// dropRetention forgets a completed job's chunks on every rank.
+func (p *Pool) dropRetention(j *Job) {
+	if p.stores == nil {
+		return
+	}
+	for _, s := range p.stores {
+		s.Drop(uint64(j.id))
+	}
+}
+
+// peerDownError builds the attributed outcome for a job that lost a
+// member.
+func peerDownError(j *Job, dead int) error {
+	return fmt.Errorf("service: job %d %q lost PE %d: %w", j.id, j.name, dead, &comm.PeerDownError{Rank: dead})
+}

@@ -28,8 +28,10 @@ import (
 	"repro"
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	recov "repro/internal/recover"
 )
 
 // DefaultMaxConcurrent bounds in-flight jobs when Options does not.
@@ -73,6 +75,20 @@ type Options struct {
 	// duration — scoped to the job's tag block, so a wedged job dies
 	// without waiting for the network's global deadline backstop.
 	JobTimeout time.Duration
+	// Elastic, when non-nil, turns on elastic membership: per-rank
+	// failure detectors, epoch-numbered views, PeerDown attribution for
+	// jobs that lose a rank, and checked recovery for recoverable jobs.
+	// Nil keeps the classic fixed-membership pool with zero overhead.
+	Elastic *ElasticOptions
+}
+
+// jobSpec is what a submitted job runs: exactly one of body/rbody is
+// set; shares are a recoverable job's per-logical-rank input slices.
+type jobSpec struct {
+	opts   repro.Options
+	body   Body
+	rbody  RecoverableBody
+	shares [][]data.Pair
 }
 
 // Pool is the resident verification service. Create with New (pool
@@ -89,19 +105,30 @@ type Pool struct {
 	closing chan struct{} // closed by Close; unblocks waiting Submits
 	start   time.Time
 
-	mu         sync.Mutex
-	closed     bool
-	nextID     int64
-	inflight   int
-	highWater  int
-	submitted  int64
-	completed  int64
-	passed     int64
-	rejected   int64
-	errored    int64
-	totalBytes int64
-	totalRound int64
-	lat        latencyRing
+	// Elastic membership (nil/zero when Options.Elastic is nil): one
+	// detector and one retention store per physical rank, plus the
+	// pool-level view that submissions and recovery key off.
+	memberships []*dist.Membership
+	stores      []*recov.Store
+	elasticOpts dist.MembershipOptions // resolved; bounds awaitDeath
+
+	mu            sync.Mutex
+	closed        bool
+	nextID        int64
+	inflight      int
+	highWater     int
+	submitted     int64
+	completed     int64
+	passed        int64
+	rejected      int64
+	errored       int64
+	recoveredJobs int64
+	viewChanges   int64
+	totalBytes    int64
+	totalRound    int64
+	lat           latencyRing
+	view          dist.View     // current view; meaningful when memberships != nil
+	viewChangedCh chan struct{} // closed and replaced on every view change
 }
 
 // New builds the mesh per opt.Dist and starts a pool over it. The pool
@@ -150,7 +177,7 @@ func NewOnNetwork(net comm.Network, opt Options) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{
+	pool := &Pool{
 		opts:    opt,
 		net:     net,
 		workers: workers,
@@ -158,7 +185,29 @@ func NewOnNetwork(net comm.Network, opt Options) (*Pool, error) {
 		sem:     make(chan struct{}, opt.MaxConcurrent),
 		closing: make(chan struct{}),
 		start:   time.Now(),
-	}, nil
+	}
+	if opt.Elastic != nil {
+		pool.view = dist.FullView(opt.P)
+		pool.viewChangedCh = make(chan struct{})
+		pool.elasticOpts = dist.MembershipOptions{
+			Interval:     opt.Elastic.Heartbeat,
+			SuspectAfter: opt.Elastic.SuspectAfter,
+		}.WithDefaults()
+		pool.stores = make([]*recov.Store, opt.P)
+		pool.memberships = make([]*dist.Membership, opt.P)
+		for r := 0; r < opt.P; r++ {
+			pool.stores[r] = recov.NewStore(opt.Elastic.RetainChunk)
+			m := dist.NewMembership(workers[r], pool.elasticOpts)
+			m.OnChange = pool.onViewChange
+			pool.memberships[r] = m
+		}
+		// Start probing only after every detector exists: the first
+		// OnChange may fire from any rank's listener.
+		for _, m := range pool.memberships {
+			m.Start()
+		}
+	}
+	return pool, nil
 }
 
 // Size returns the mesh width p.
@@ -192,6 +241,15 @@ func (p *Pool) SubmitWith(name string, opts repro.Options, body Body) (*Job, err
 	if body == nil {
 		return nil, errors.New("service: nil job body")
 	}
+	return p.submit(name, opts, jobSpec{opts: opts, body: body})
+}
+
+// submit admits one job onto the current view: it mints the job's
+// sub-communicators on every live member lock-step and spawns the
+// runner. Jobs admitted after a view change run entirely on the
+// survivor set (the view sub renumbers them contiguously), so new work
+// flows while dead ranks stay quarantined.
+func (p *Pool) submit(name string, opts repro.Options, spec jobSpec) (*Job, error) {
 	// Backpressure: block for a slot, released when the job finishes —
 	// but never wait out a Close, which holds every slot forever.
 	select {
@@ -205,31 +263,46 @@ func (p *Pool) SubmitWith(name string, opts repro.Options, body Body) (*Job, err
 		<-p.sem
 		return nil, ErrPoolClosed
 	}
+	v := p.viewLocked()
+	members := v.Members()
+	if spec.shares != nil && len(spec.shares) != len(members) {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, fmt.Errorf("service: recoverable job %q: %d shares for a view of %d members", name, len(spec.shares), len(members))
+	}
 	id := p.nextID
 	p.nextID++
-	// Mint the job's sub-communicator on every rank inside one critical
-	// section: each rank's allocator sees the same alloc/release
-	// sequence, so all ranks agree on the block — the SPMD Sub contract,
-	// enforced pool-side.
-	subs := make([]*collective.Comm, p.opts.P)
-	for r := range subs {
-		sub, err := p.workers[r].Coll.Sub()
+	// Mint the job's sub-communicator on every live rank inside one
+	// critical section: each rank's allocator sees the same
+	// alloc/release sequence, so all ranks agree on the block — the
+	// SPMD Sub contract, enforced pool-side. On the full view the plain
+	// Sub is the allocation-free identity path; on a shrunken view the
+	// sub also carries the member remapping.
+	subs := make([]*collective.Comm, len(members))
+	for i, phys := range members {
+		var sub *collective.Comm
+		var err error
+		if v.Epoch() == 0 {
+			sub, err = p.workers[phys].Coll.Sub()
+		} else {
+			sub, err = p.workers[phys].Coll.SubMembers(members)
+		}
 		if err != nil {
-			for _, s := range subs[:r] {
+			for _, s := range subs[:i] {
 				s.Release()
 			}
 			p.mu.Unlock()
 			<-p.sem
 			return nil, fmt.Errorf("service: job %d %q: %w", id, name, err)
 		}
-		subs[r] = sub
+		subs[i] = sub
 	}
 	lo, hi := subs[0].Block()
-	for r, s := range subs[1:] {
+	for i, s := range subs[1:] {
 		if l, h := s.Block(); l != lo || h != hi {
 			p.mu.Unlock()
 			<-p.sem
-			return nil, fmt.Errorf("service: internal: job %d tag blocks diverged: rank 0 [%d,%d) vs rank %d [%d,%d)", id, lo, hi, r+1, l, h)
+			return nil, fmt.Errorf("service: internal: job %d tag blocks diverged: rank %d [%d,%d) vs rank %d [%d,%d)", id, members[0], lo, hi, members[i+1], l, h)
 		}
 	}
 	p.submitted++
@@ -240,21 +313,26 @@ func (p *Pool) SubmitWith(name string, opts repro.Options, body Body) (*Job, err
 	p.mu.Unlock()
 
 	j := &Job{
-		id:    id,
-		name:  name,
-		seed:  JobSeed(p.common, id),
-		block: [2]int{lo, hi},
-		start: time.Now(),
-		done:  make(chan struct{}),
+		id:          id,
+		name:        name,
+		seed:        JobSeed(p.common, id),
+		block:       [2]int{lo, hi},
+		start:       time.Now(),
+		done:        make(chan struct{}),
+		members:     members,
+		epoch:       v.Epoch(),
+		recoverable: spec.rbody != nil,
+		deadRank:    -1,
 	}
-	go p.runJob(j, subs, opts, body)
+	go p.runJob(j, subs, spec)
 	return j, nil
 }
 
-// runJob drives one job: p rank goroutines over the job's
+// runJob drives one job: one goroutine per view member over the job's
 // sub-communicators, first-error collection, scoped abort on
-// infrastructure failure, then accounting and block retirement.
-func (p *Pool) runJob(j *Job, subs []*collective.Comm, opts repro.Options, body Body) {
+// infrastructure failure, death attribution and checked recovery when
+// elastic membership is on, then accounting and block retirement.
+func (p *Pool) runJob(j *Job, subs []*collective.Comm, spec jobSpec) {
 	var (
 		jmu      sync.Mutex
 		firstErr error
@@ -292,14 +370,14 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, opts repro.Options, body 
 	}
 
 	var wg sync.WaitGroup
-	for r := 0; r < p.opts.P; r++ {
+	for i, phys := range j.members {
 		wg.Add(1)
-		go func(r int) {
+		go func(i, phys int) {
 			defer wg.Done()
-			if err := p.runRank(j, r, subs[r], opts, body); err != nil {
+			if err := p.runRank(j, i, phys, subs[i], spec); err != nil {
 				fail(err)
 			}
-		}(r)
+		}(i, phys)
 	}
 	wg.Wait()
 	if watchdog != nil {
@@ -309,6 +387,35 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, opts repro.Options, body 
 	finished = true
 	err := firstErr
 	jmu.Unlock()
+
+	// Attribution and recovery: an infrastructure failure on an elastic
+	// pool may really be a peer death. Give the detector its bounded
+	// window; if the view shrank past this job's epoch, the outcome is
+	// attributed to the lost rank (PeerDownError) — and a recoverable
+	// job replays on the survivors with the dead share resharded under
+	// redistribution-checker verification instead of failing at all.
+	if err != nil && !errors.Is(err, repro.ErrCheckFailed) && p.memberships != nil {
+		if dead, ok := p.awaitDeath(j); ok {
+			j.deadRank = dead
+			attributed := peerDownError(j, dead)
+			if j.recoverable {
+				switch rerr := p.recoverJob(j, spec, dead); {
+				case rerr == nil:
+					err = nil
+					j.recovered = true
+				case errors.Is(rerr, repro.ErrCheckFailed):
+					// The replay reached a verdict: the job was recovered
+					// faithfully and its checkers rejected the data.
+					err = rerr
+					j.recovered = true
+				default:
+					err = fmt.Errorf("%w; recovery failed: %v", attributed, rerr)
+				}
+			} else {
+				err = attributed
+			}
+		}
+	}
 
 	cost := JobCost{WallNs: time.Since(j.start).Nanoseconds()}
 	for _, sub := range subs {
@@ -346,11 +453,15 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, opts repro.Options, body 
 	default:
 		p.errored++
 	}
+	if j.recovered {
+		p.recoveredJobs++
+	}
 	p.totalBytes += cost.Bytes
 	p.totalRound += int64(cost.Rounds)
 	p.lat.add(cost.WallNs)
 	p.mu.Unlock()
 
+	p.dropRetention(j)
 	j.cost = cost
 	j.err = err
 	close(j.done)
@@ -359,15 +470,16 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, opts repro.Options, body 
 
 // runRank is one PE's share of a job: derive the job worker over the
 // rank's resident worker, build the Context, run the body, settle all
-// pending verification. Rank 0's stats become the job's.
-func (p *Pool) runRank(j *Job, r int, sub *collective.Comm, opts repro.Options, body Body) (err error) {
+// pending verification. i is the logical (view) rank, phys the
+// physical endpoint rank; logical rank 0's stats become the job's.
+func (p *Pool) runRank(j *Job, i, phys int, sub *collective.Comm, spec jobSpec) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = fmt.Errorf("service: job %d %q: PE %d panicked: %v\n%s", j.id, j.name, r, v, debug.Stack())
+			err = fmt.Errorf("service: job %d %q: PE %d panicked: %v\n%s", j.id, j.name, phys, v, debug.Stack())
 		}
 	}()
-	w := p.workers[r].JobWorker(sub, j.seed, uint64(j.id))
-	ctx, cerr := repro.NewContext(w, opts)
+	w := p.workers[phys].JobWorker(sub, j.seed, uint64(j.id))
+	ctx, cerr := repro.NewContext(w, spec.opts)
 	if cerr != nil {
 		return cerr
 	}
@@ -381,12 +493,24 @@ func (p *Pool) runRank(j *Job, r int, sub *collective.Comm, opts repro.Options, 
 				err = verr
 			}
 		}
-		if r == 0 {
+		if i == 0 {
 			j.stats = ctx.Stats()
 			j.sums = ctx.VerifySummaries()
 		}
 	}()
-	if berr := body(ctx); berr != nil {
+	if spec.rbody != nil {
+		share := spec.shares[i]
+		// Checkpoint before compute: the share and its ring-buddy
+		// replica must be retained while every member is still alive.
+		if rerr := p.retain(j, phys, w.Coll, share); rerr != nil {
+			return rerr
+		}
+		if berr := spec.rbody(ctx, share); berr != nil {
+			return berr
+		}
+		return ctx.Verify()
+	}
+	if berr := spec.body(ctx); berr != nil {
 		return berr
 	}
 	return ctx.Verify()
@@ -400,15 +524,20 @@ func (p *Pool) runRank(j *Job, r int, sub *collective.Comm, opts repro.Options, 
 // the failure path; the sends are tiny and self-limiting (the mux
 // drops control tags on sight).
 func (p *Pool) kickAll() {
-	size := p.opts.P
-	if size < 2 {
+	p.mu.Lock()
+	members := p.viewLocked().Members()
+	p.mu.Unlock()
+	if len(members) < 2 {
 		return
 	}
-	for r := 0; r < size; r++ {
-		src := (r + 1) % size
+	// Kick ring-wise within the live view: a dead endpoint can neither
+	// send nor needs waking, and survivors must not be made to wait on
+	// its blackholed traffic.
+	for i, dst := range members {
+		src := members[(i+1)%len(members)]
 		go func(src, dst int) {
 			_ = p.net.Endpoint(src).Send(dst, comm.KickTag, nil)
-		}(src, r)
+		}(src, dst)
 	}
 }
 
@@ -417,16 +546,21 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	qs := p.lat.quantiles(0.50, 0.99)
+	v := p.viewLocked()
 	s := PoolStats{
-		Submitted: p.submitted,
-		Completed: p.completed,
-		Passed:    p.passed,
-		Rejected:  p.rejected,
-		Errored:   p.errored,
-		InFlight:  p.inflight,
-		HighWater: p.highWater,
-		P50Ns:     qs[0],
-		P99Ns:     qs[1],
+		Submitted:   p.submitted,
+		Completed:   p.completed,
+		Passed:      p.passed,
+		Rejected:    p.rejected,
+		Errored:     p.errored,
+		Recovered:   p.recoveredJobs,
+		InFlight:    p.inflight,
+		HighWater:   p.highWater,
+		ViewChanges: p.viewChanges,
+		Epoch:       v.Epoch(),
+		Alive:       v.Size(),
+		P50Ns:       qs[0],
+		P99Ns:       qs[1],
 	}
 	if up := time.Since(p.start).Seconds(); up > 0 {
 		s.JobsPerSec = float64(p.completed) / up
@@ -454,6 +588,11 @@ func (p *Pool) Close() error {
 	// flight and no Submit can start one (it would observe closed).
 	for i := 0; i < cap(p.sem); i++ {
 		p.sem <- struct{}{}
+	}
+	// Detectors outlive the last job (recovery needs them) and stop
+	// before the mesh goes away.
+	for _, m := range p.memberships {
+		m.Stop()
 	}
 	if p.ownNet {
 		return p.net.Close()
