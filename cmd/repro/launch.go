@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/hashing"
+)
+
+// launchDigestDomain keys the per-rank pipeline digest so it cannot
+// collide with any other Mix64 chain in the system.
+const launchDigestDomain = 0x6c61756e63684467 // "launchDg"
+
+// launchDigestPrefix tags the one line each rank prints for the
+// spawning parent (or the operator) to collect.
+const launchDigestPrefix = "LAUNCH-DIGEST"
+
+// runLaunch drives a checked pipeline across OS processes. Three modes:
+//
+//	repro launch -p 4                          spawn: fork 4 ranks on
+//	                                           loopback via a local
+//	                                           rendezvous, then verify
+//	                                           their verdicts are
+//	                                           bit-identical to an
+//	                                           in-process run
+//	repro launch -rank 2 -p 4 -rendezvous A    join: become rank 2 of a
+//	                                           run bootstrapped at A
+//	repro launch -rank 1 -hosts h0:p,h1:p,...  join: static host list
+//
+// In join mode, -serve-rendezvous makes this process (typically rank 0)
+// also host the rendezvous service at the -rendezvous address.
+func runLaunch(args []string) error {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	rank := fs.Int("rank", -1, "this process's rank; -1 (default) spawns the whole run as child processes")
+	p := fs.Int("p", 4, "world size (with -hosts: must match the list length or be left at default)")
+	hostsFlag := fs.String("hosts", "", "comma-separated static host list h0:p0,h1:p1,...; rank r binds entry r")
+	rdv := fs.String("rendezvous", "", "rendezvous service address to register with")
+	serveRdv := fs.Bool("serve-rendezvous", false, "host the rendezvous service at -rendezvous from this process (exactly one rank does this)")
+	bind := fs.String("bind", "", "listen address in rendezvous mode (default loopback with an OS port)")
+	advertise := fs.String("advertise", "", "host (or host:port) peers should dial instead of the bind address")
+	topoFlag := fs.String("topology", string(comm.TopoHypercube), "connection topology: full, ring, hypercube, or none (fully lazy)")
+	seed := fs.Uint64("seed", 42, "run seed; verdicts are a pure function of (p, seed, elements)")
+	elements := fs.Int("elements", 4096, "pairs per PE in the checked pipeline")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-run communication deadline")
+	setupTimeout := fs.Duration("setup-timeout", 0, "bootstrap deadline: rendezvous, dials, handshakes (0 = default)")
+	verifyIdentical := fs.Bool("verify-identical", true, "spawn mode: rerun in-process over the mem transport and require bit-identical digests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "p" {
+			pSet = true
+		}
+	})
+	topo, err := comm.ParseTopology(*topoFlag)
+	if err != nil {
+		return err
+	}
+	cfg := dist.Config{Topology: topo, Timeout: *timeout, SetupTimeout: *setupTimeout}
+	if *rank < 0 {
+		if *hostsFlag != "" || *rdv != "" {
+			return fmt.Errorf("launch: -hosts/-rendezvous describe an existing run; joining one needs -rank")
+		}
+		return launchSpawn(cfg, *p, *seed, *elements, *topoFlag, *setupTimeout, *verifyIdentical)
+	}
+	lc := dist.LaunchConfig{
+		Rank:       *rank,
+		P:          *p,
+		Rendezvous: *rdv,
+		Bind:       *bind,
+		Advertise:  *advertise,
+		Config:     cfg,
+	}
+	if *hostsFlag != "" {
+		hosts, err := dist.ParseHosts(*hostsFlag)
+		if err != nil {
+			return err
+		}
+		lc.Hosts = hosts
+		if !pSet { // -p left at its default: the host list dictates p
+			lc.P = 0
+		}
+	}
+	if *serveRdv {
+		if *rdv == "" {
+			return fmt.Errorf("launch: -serve-rendezvous needs -rendezvous to name the address to host")
+		}
+		l, err := net.Listen("tcp", *rdv)
+		if err != nil {
+			return fmt.Errorf("launch: hosting rendezvous at %s: %w", *rdv, err)
+		}
+		go func() {
+			if _, err := dist.ServeRendezvous(l, lc.P, *setupTimeout); err != nil {
+				fmt.Fprintln(os.Stderr, "repro launch:", err)
+			}
+		}()
+	}
+	return launchJoin(lc, *seed, *elements)
+}
+
+// launchJoin is one rank's life: bootstrap into the world, run the
+// checked pipeline, print the digest line, tear down.
+func launchJoin(lc dist.LaunchConfig, seed uint64, elements int) error {
+	node, err := dist.Join(lc)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	var digest uint64
+	err = dist.RunLocal(node, lc.Rank, seed, func(w *dist.Worker) error {
+		d, err := launchPipeline(w, elements)
+		digest = d
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s rank=%d p=%d seed=%d conns=%d digest=%016x verdict=ok\n",
+		launchDigestPrefix, lc.Rank, node.Size(), seed, node.ConnsOpen(), digest)
+	return nil
+}
+
+// launchSpawn forks p child ranks of this binary on loopback, collects
+// their digest lines, and (by default) reruns the identical pipeline
+// in-process over the mem transport to prove the cross-process verdicts
+// are bit-identical.
+func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string, setupTimeout time.Duration, verifyIdentical bool) error {
+	if p < 1 {
+		return fmt.Errorf("launch: need p >= 1, got %d", p)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("launch: locating own binary: %w", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rdvAddr := l.Addr().String()
+	rdvDone := make(chan error, 1)
+	go func() {
+		_, err := dist.ServeRendezvous(l, p, setupTimeout)
+		rdvDone <- err
+	}()
+
+	fmt.Printf("launch: spawning %d ranks (topology %s, rendezvous %s)\n", p, topo, rdvAddr)
+	cmds := make([]*exec.Cmd, p)
+	outs := make([]bytes.Buffer, p)
+	for r := 0; r < p; r++ {
+		cmds[r] = exec.Command(exe, "launch",
+			"-rank", strconv.Itoa(r),
+			"-p", strconv.Itoa(p),
+			"-rendezvous", rdvAddr,
+			"-topology", topo,
+			"-seed", strconv.FormatUint(seed, 10),
+			"-elements", strconv.Itoa(elements),
+			"-timeout", cfg.Timeout.String(),
+			"-setup-timeout", setupTimeout.String(),
+		)
+		cmds[r].Stdout = &outs[r]
+		cmds[r].Stderr = os.Stderr
+		if err := cmds[r].Start(); err != nil {
+			return fmt.Errorf("launch: starting rank %d: %w", r, err)
+		}
+	}
+	var firstErr error
+	for r := 0; r < p; r++ {
+		if err := cmds[r].Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("launch: rank %d process: %w", r, err)
+		}
+	}
+	if err := <-rdvDone; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	digests := make([]uint64, p)
+	for r := 0; r < p; r++ {
+		d, err := parseDigestLine(outs[r].String(), r, p)
+		if err != nil {
+			return err
+		}
+		digests[r] = d
+		fmt.Print(digestLineOf(outs[r].String()))
+	}
+	if !verifyIdentical {
+		fmt.Printf("launch: %d ranks completed with clean verdicts\n", p)
+		return nil
+	}
+	// The reference run: same (p, seed, elements) as p goroutines over
+	// the in-memory transport. Digest equality per rank is bit-identity
+	// of every collected output and verdict.
+	ref := make([]uint64, p)
+	memCfg := dist.Config{Transport: dist.TransportMem}
+	err = repro.RunConfig(memCfg, p, seed, func(w *repro.Worker) error {
+		d, err := launchPipeline(w, elements)
+		ref[w.Rank()] = d
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("launch: in-process reference run: %w", err)
+	}
+	for r := 0; r < p; r++ {
+		if digests[r] != ref[r] {
+			return fmt.Errorf("launch: rank %d digest %#016x differs from in-process reference %#016x — cross-process run is not bit-identical", r, digests[r], ref[r])
+		}
+	}
+	fmt.Printf("launch: verdicts bit-identical across %d processes and the in-process reference (p=%d seed=%d)\n", p, p, seed)
+	return nil
+}
+
+// launchPipeline is the deterministic checked pipeline every rank runs:
+// a ReduceByKey over power-law-ish pairs and a Sort over a private
+// sequence, checkers deferred and resolved in one batched round. The
+// returned digest chains Mix64 over the common seed and every collected
+// word, so two runs agree on the digest iff they agree on every output
+// bit and every verdict.
+func launchPipeline(w *repro.Worker, elements int) (uint64, error) {
+	opts := repro.DefaultOptions()
+	opts.Mode = repro.CheckDeferred
+	ctx, err := repro.NewContext(w, opts)
+	if err != nil {
+		return 0, err
+	}
+	pairs := make([]repro.Pair, elements)
+	for i := range pairs {
+		pairs[i] = repro.Pair{Key: w.Rng.Uint64n(uint64(elements/4 + 1)), Value: w.Rng.Uint64n(1 << 20)}
+	}
+	seq := make([]uint64, elements)
+	for i := range seq {
+		seq[i] = w.Rng.Uint64()
+	}
+	reduced, err := ctx.Pairs(pairs).ReduceByKey(repro.SumFn).Collect()
+	if err != nil {
+		return 0, err
+	}
+	sorted, err := ctx.Seq(seq).Sort().Collect()
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Verify(); err != nil {
+		return 0, err
+	}
+	cs, err := w.CommonSeed()
+	if err != nil {
+		return 0, err
+	}
+	h := hashing.Mix64(cs ^ launchDigestDomain)
+	h = hashing.Mix64(h ^ uint64(w.Rank()))
+	for _, pr := range reduced {
+		h = hashing.Mix64(h ^ pr.Key)
+		h = hashing.Mix64(h ^ pr.Value)
+	}
+	for _, v := range sorted {
+		h = hashing.Mix64(h ^ v)
+	}
+	return h, nil
+}
+
+// parseDigestLine extracts rank r's digest from its child's stdout.
+func parseDigestLine(out string, r, p int) (uint64, error) {
+	line := digestLineOf(out)
+	if line == "" {
+		return 0, fmt.Errorf("launch: rank %d printed no digest line; output:\n%s", r, out)
+	}
+	var gotRank, gotP int
+	var gotSeed uint64
+	var conns int64
+	var digest uint64
+	var verdict string
+	_, err := fmt.Sscanf(strings.TrimSpace(line), launchDigestPrefix+" rank=%d p=%d seed=%d conns=%d digest=%x verdict=%s",
+		&gotRank, &gotP, &gotSeed, &conns, &digest, &verdict)
+	if err != nil {
+		return 0, fmt.Errorf("launch: rank %d digest line %q: %w", r, line, err)
+	}
+	if gotRank != r || gotP != p || verdict != "ok" {
+		return 0, fmt.Errorf("launch: rank %d reported rank=%d p=%d verdict=%q", r, gotRank, gotP, verdict)
+	}
+	return digest, nil
+}
+
+// digestLineOf returns the digest line from a child's output, if any.
+func digestLineOf(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, launchDigestPrefix+" ") {
+			return line + "\n"
+		}
+	}
+	return ""
+}

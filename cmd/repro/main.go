@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exp"
@@ -70,6 +71,8 @@ func main() {
 		err = runServe(args)
 	case "soak":
 		err = runSoak(args)
+	case "launch":
+		err = runLaunch(args)
 	case "all":
 		err = runAll()
 	default:
@@ -118,6 +121,12 @@ experiments:
                 pool mid-flight and asserts detection, a single view
                 change, and checked recovery bit-identical to a
                 serial rerun
+  launch        run a checked pipeline across OS processes: the default
+                spawn mode forks -p ranks on loopback via a local
+                rendezvous and proves their verdicts bit-identical to an
+                in-process run; -rank joins an existing run by host list
+                (-hosts) or rendezvous (-rendezvous, with
+                -serve-rendezvous on one rank)
   all           everything above at default scale`)
 }
 
@@ -130,10 +139,13 @@ func runTable2() error {
 	return nil
 }
 
-// transportFlags registers the shared -transport/-timeout flags and
-// returns a resolver that fills a dist.Config from the parsed values.
+// transportFlags registers the shared -transport/-timeout/-topology
+// flags and returns a resolver that fills a dist.Config from the
+// parsed values.
 func transportFlags(fs *flag.FlagSet, cfg *dist.Config) func() error {
 	transport := fs.String("transport", string(cfg.Transport), "transport backend: mem, simnet, or tcp")
+	topology := fs.String("topology", string(cfg.Topology),
+		"TCP connection topology: full (default), ring, hypercube, or none (fully lazy); ignored by mem/simnet")
 	fs.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout,
 		"per-run communication deadline (0 = none), e.g. 90s; does not interrupt local computation")
 	return func() error {
@@ -142,6 +154,11 @@ func transportFlags(fs *flag.FlagSet, cfg *dist.Config) func() error {
 			return err
 		}
 		cfg.Transport = tr
+		topo, err := comm.ParseTopology(*topology)
+		if err != nil {
+			return err
+		}
+		cfg.Topology = topo
 		return nil
 	}
 }
@@ -190,10 +207,14 @@ func runFig4(args []string) error {
 		opt.Mode = repro.CheckDeferred
 	}
 	if opt.Dist.Transport == dist.TransportTCP && *pes == "" {
-		// The TCP mesh needs p(p-1)/2 loopback connections; the default
-		// sweep to 512 PEs would exhaust file descriptors. Cap it unless
-		// the user picks PE counts explicitly.
+		// The full TCP mesh needs p(p-1)/2 loopback connections; the
+		// default sweep to 512 PEs would exhaust file descriptors. Cap it
+		// unless the user picks PE counts explicitly — sparse topologies
+		// (-topology hypercube) open O(p log p) and can go further.
 		opt.PEs = []int{1, 2, 4, 8, 16}
+		if opt.Dist.Topology != comm.TopoFullMesh && opt.Dist.Topology != "" {
+			opt.PEs = []int{1, 2, 4, 8, 16, 32}
+		}
 	}
 	if *pes != "" {
 		parsed, err := parseInts(*pes)
@@ -281,6 +302,9 @@ func runBench(args []string) error {
 	withOverlap := fs.Bool("overlap", true, "include the verification-policy makespan benchmark (eager vs deferred vs overlapped)")
 	withService := fs.Bool("service", true, "include the service-pool job throughput benchmark (serial vs concurrent)")
 	withRecovery := fs.Bool("recovery", true, "include the elastic-recovery latency benchmark (kill a PE, measure detect + recover)")
+	withTopo := fs.Bool("topology", true, "include the topology benchmark (full-mesh vs hypercube setup latency and connection count)")
+	topoOpt := exp.TopoBenchOptions{}
+	topoPEs := fs.String("topology-pes", "", "comma-separated PE counts for the topology benchmark (default 4,8,16)")
 	recOpt := exp.RecoveryBenchOptions{}
 	fs.IntVar(&recOpt.Jobs, "recovery-jobs", recOpt.Jobs, "in-flight recoverable jobs per recovery episode (default 8)")
 	fs.IntVar(&recOpt.Elements, "recovery-elements", recOpt.Elements, "elements per PE per recovery job (default 1000)")
@@ -376,7 +400,24 @@ func runBench(args []string) error {
 		fmt.Println()
 		fmt.Print(exp.RenderRecoveryBench(recRows))
 	}
-	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows, Service: svcRows, Recovery: recRows}
+	var topoRows []exp.TopoBenchRow
+	if *withTopo {
+		topoOpt.Seed = opt.Seed
+		if *topoPEs != "" {
+			parsed, err := parseInts(*topoPEs)
+			if err != nil {
+				return err
+			}
+			topoOpt.PEs = parsed
+		}
+		topoRows, err = exp.TopoBench(topoOpt)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.RenderTopoBench(topoRows))
+	}
+	artifact := exp.BenchArtifact{Local: rows, Net: netRows, Stream: streamRows, Overlap: overlapRows, Service: svcRows, Recovery: recRows, Topology: topoRows}
 	if *baseline != "" {
 		base, err := exp.ReadBenchArtifact(*baseline)
 		if err != nil {
@@ -393,8 +434,8 @@ func runBench(args []string) error {
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d local, %d net, %d stream, %d overlap, %d service, and %d recovery rows to %s\n",
-			len(rows), len(netRows), len(streamRows), len(overlapRows), len(svcRows), len(recRows), *out)
+		fmt.Printf("\nwrote %d local, %d net, %d stream, %d overlap, %d service, %d recovery, and %d topology rows to %s\n",
+			len(rows), len(netRows), len(streamRows), len(overlapRows), len(svcRows), len(recRows), len(topoRows), *out)
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package repro_test
 
 import (
 	"errors"
+	"math/bits"
 	"testing"
 
 	"repro"
+	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -238,5 +240,74 @@ func TestCheckerOverSimNetwork(t *testing.T) {
 	}
 	if net.MakespanNs() <= 0 {
 		t.Fatal("virtual time did not advance")
+	}
+}
+
+// TestHypercubeConnectionBound is the O(p log p) acceptance test: a
+// p=32 checked allreduce pipeline over the hypercube topology —
+// collectives plus the sum checker's verification rounds — must
+// complete with the network-wide connection count within the paper's
+// sparse budget p*(log2(p)+1), far under the eager full mesh's
+// p(p-1)/2. The collectives route along hypercube edges, so the count
+// lands exactly on the graph's edge total.
+func TestHypercubeConnectionBound(t *testing.T) {
+	const p = 32
+	net, err := comm.NewTCPNetworkOpts(p, comm.TCPOptions{Topology: comm.TopoHypercube})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	setupConns := net.ConnsOpen()
+	opts := repro.DefaultOptions()
+	err = dist.RunNetwork(net, 99, func(w *dist.Worker) error {
+		rng := hashing.NewMT19937_64(99 + uint64(w.Rank()))
+		input := make([]repro.Pair, 500)
+		output := make([]repro.Pair, len(input))
+		var sum uint64
+		for i := range input {
+			input[i] = repro.Pair{Key: rng.Uint64n(64), Value: rng.Uint64n(1 << 30)}
+			output[i] = input[i]
+			sum += input[i].Value
+		}
+		// The checked allreduce pipeline: verify the claimed aggregation
+		// (sum checker = local accumulate + collective compare), then a
+		// sweep of raw collectives over the same mesh.
+		ok, err := repro.CheckSum(w, opts, input, output)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("sum checker rejected an honest aggregation")
+		}
+		got, err := w.Coll.AllReduce([]uint64{sum}, collective.OpSum)
+		if err != nil {
+			return err
+		}
+		if got[0] == 0 {
+			return errors.New("allreduce lost the aggregate")
+		}
+		if _, err := w.Coll.ExclusiveScan([]uint64{1}, collective.OpSum, []uint64{0}); err != nil {
+			return err
+		}
+		return w.Coll.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := net.ConnsOpen()
+	edges := int64(comm.TopoHypercube.Edges(p))   // 80
+	bound := int64(p * (bits.Len(uint(p-1)) + 1)) // 192
+	mesh := int64(p * (p - 1) / 2)                // 496
+	if setupConns != edges {
+		t.Fatalf("setup opened %d connections, want the hypercube's %d edges", setupConns, edges)
+	}
+	if conns != edges {
+		t.Fatalf("pipeline grew the connection count to %d; collectives strayed off the %d hypercube edges", conns, edges)
+	}
+	if conns > bound {
+		t.Fatalf("ConnsOpen %d exceeds the O(p log p) bound %d", conns, bound)
+	}
+	if conns >= mesh {
+		t.Fatalf("ConnsOpen %d is no better than the eager mesh's %d", conns, mesh)
 	}
 }

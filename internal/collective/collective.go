@@ -175,6 +175,18 @@ type Comm struct {
 	// streams, so an async round can report its own exact cost.
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
+
+	// topo is the transport's pre-opened connection graph, installed by
+	// SetTopology and inherited by sub-communicators. It is a routing
+	// hint, not a restriction: on a hypercube the collectives switch to
+	// XOR-mapped virtual ranks so every tree, scan, and barrier round
+	// travels a pre-opened edge; any other pattern still works, paying a
+	// lazy dial. Results are unchanged either way — the XOR variants
+	// engage only where the ReduceOp contract already demands
+	// commutativity (non-zero roots, ExclusiveScan), and the root-0
+	// trees, which carry the order-sensitive combines, are identical
+	// under both mappings.
+	topo comm.Topology
 }
 
 // New returns the root collective communicator over ep. All receiving
@@ -229,6 +241,59 @@ func (c *Comm) Members() []int {
 // Endpoint exposes the underlying endpoint.
 func (c *Comm) Endpoint() comm.Endpoint { return c.mux.Endpoint() }
 
+// SetTopology installs the transport's connection-graph hint (see the
+// topo field). Call it right after New, before any collective; every PE
+// must install the same topology or tree shapes diverge and the
+// collectives deadlock. dist does this automatically for networks that
+// expose a Topology.
+func (c *Comm) SetTopology(t comm.Topology) { c.topo = t }
+
+// Topology returns the installed connection-graph hint ("" if none).
+func (c *Comm) Topology() comm.Topology { return c.topo }
+
+// ConnsOpen reports how many transport connections are currently
+// established under this communicator's endpoint, or -1 when the
+// transport does not meter connections (mem, simnet). On a hypercube
+// TCP run this is the observable for the O(p log p) claim: a checked
+// pipeline must finish with ConnsOpen ≤ p·(log2(p)+1) instead of the
+// eager mesh's p·(p−1)/2.
+func (c *Comm) ConnsOpen() int64 {
+	if m, ok := c.mux.Endpoint().(interface{ ConnsOpen() int64 }); ok {
+		return m.ConnsOpen()
+	}
+	return -1
+}
+
+// onHypercube reports whether the XOR-mapped (hypercube-edge) variants
+// of the collectives should be used: the transport pre-opened a
+// hypercube and the communicator spans a power of two of PEs (XOR
+// virtual ranks permute [0,p) only then).
+func (c *Comm) onHypercube() bool {
+	p := c.Size()
+	return c.topo == comm.TopoHypercube && p > 1 && p&(p-1) == 0
+}
+
+// vinv maps a virtual tree rank back to a logical rank. The default
+// mapping is the rotation (vrank+root) mod p; on a hypercube it is the
+// involution vrank XOR root, which keeps every tree edge (virtual ranks
+// differing in one bit) a physical hypercube edge. Both map virtual
+// rank 0 to root. For root 0 the two mappings — and therefore the tree
+// shapes and combine orders — coincide.
+func (c *Comm) vinv(vrank, root, p int) int {
+	if c.onHypercube() {
+		return vrank ^ root
+	}
+	return (vrank + root) % p
+}
+
+// vmap is the inverse of vinv: the virtual tree rank of a logical rank.
+func (c *Comm) vmap(rank, root, p int) int {
+	if c.onHypercube() {
+		return rank ^ root
+	}
+	return (rank - root + p) % p
+}
+
 // Sub carves a sub-communicator out of this communicator's tag space: a
 // Comm over the same endpoint whose collectives use a disjoint tag
 // block and may therefore be in flight concurrently with the parent's
@@ -262,6 +327,7 @@ func (c *Comm) Sub() (*Comm, error) {
 		limit:   base + span/2,
 		end:     base + span,
 		parent:  c,
+		topo:    c.topo,
 	}
 	if childSpan := span / subFanout; childSpan >= minSubSpan {
 		sub.kids = &childSpace{span: childSpan, next: base + span/2, limit: base + span}
@@ -529,13 +595,13 @@ func (c *Comm) Broadcast(root int, words []uint64) ([]uint64, error) {
 	if p == 1 {
 		return words, nil
 	}
-	vrank := (rank - root + p) % p
+	vrank := c.vmap(rank, root, p)
 	data := words
 	// Receive phase: the lowest set bit of vrank identifies the parent.
 	mask := 1
 	for ; mask < p; mask <<= 1 {
 		if vrank&mask != 0 {
-			parent := ((vrank - mask) + root) % p
+			parent := c.vinv(vrank-mask, root, p)
 			got, err := c.recvU64s(parent, tag)
 			if err != nil {
 				return nil, err
@@ -547,7 +613,7 @@ func (c *Comm) Broadcast(root int, words []uint64) ([]uint64, error) {
 	// Send phase: forward to children at decreasing bit positions.
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < p {
-			child := (vrank + mask + root) % p
+			child := c.vinv(vrank+mask, root, p)
 			if err := c.sendU64s(child, tag, data); err != nil {
 				return nil, err
 			}
@@ -567,12 +633,12 @@ func (c *Comm) Reduce(root int, words []uint64, op ReduceOp) ([]uint64, error) {
 	if p == 1 {
 		return acc, nil
 	}
-	vrank := (rank - root + p) % p
+	vrank := c.vmap(rank, root, p)
 	for mask := 1; mask < p; mask <<= 1 {
 		if vrank&mask == 0 {
 			partner := vrank | mask
 			if partner < p {
-				got, err := c.recvU64s((partner+root)%p, tag)
+				got, err := c.recvU64s(c.vinv(partner, root, p), tag)
 				if err != nil {
 					return nil, err
 				}
@@ -582,7 +648,7 @@ func (c *Comm) Reduce(root int, words []uint64, op ReduceOp) ([]uint64, error) {
 				op(acc, got)
 			}
 		} else {
-			parent := (vrank - mask + root) % p
+			parent := c.vinv(vrank-mask, root, p)
 			if err := c.sendU64s(parent, tag, acc); err != nil {
 				return nil, err
 			}
@@ -608,7 +674,7 @@ func (c *Comm) AllReduce(words []uint64, op ReduceOp) ([]uint64, error) {
 func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
 	tag := c.nextTag()
 	p, rank := c.Size(), c.Rank()
-	vrank := (rank - root + p) % p
+	vrank := c.vmap(rank, root, p)
 	// bundle maps virtual rank -> payload, encoded for transport as
 	// (count, then per entry: vrank, len, words...).
 	bundle := map[int][]uint64{vrank: words}
@@ -616,7 +682,7 @@ func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
 		if vrank&mask == 0 {
 			partner := vrank | mask
 			if partner < p {
-				got, err := c.recvU64s((partner+root)%p, tag)
+				got, err := c.recvU64s(c.vinv(partner, root, p), tag)
 				if err != nil {
 					return nil, err
 				}
@@ -625,7 +691,7 @@ func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
 				}
 			}
 		} else {
-			parent := (vrank - mask + root) % p
+			parent := c.vinv(vrank-mask, root, p)
 			if err := c.sendU64s(parent, tag, encodeBundle(bundle)); err != nil {
 				return nil, err
 			}
@@ -634,7 +700,7 @@ func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
 	}
 	out := make([][]uint64, p)
 	for v, w := range bundle {
-		out[(v+root)%p] = w
+		out[c.vinv(v, root, p)] = w
 	}
 	return out, nil
 }
@@ -717,6 +783,38 @@ func (c *Comm) ExclusiveScan(words []uint64, op ReduceOp, identity []uint64) ([]
 	copy(excl, identity)
 	hasExcl := false
 	round := 0
+	if c.onHypercube() {
+		// Recursive doubling over hypercube edges: each round swaps block
+		// partials with the rank^d partner; a partner below this rank
+		// contributes to the exclusive prefix. ExclusiveScan already
+		// requires a commutative op, so the out-of-rank-order
+		// accumulation yields the same result as dissemination.
+		for d := 1; d < p; d <<= 1 {
+			roundTag := tag + round
+			round++
+			partner := rank ^ d
+			if err := c.sendU64s(partner, roundTag, incl); err != nil {
+				return nil, err
+			}
+			got, err := c.recvU64s(partner, roundTag)
+			if err != nil {
+				return nil, err
+			}
+			if partner < rank {
+				if hasExcl {
+					op(excl, got)
+				} else {
+					copy(excl, got)
+					hasExcl = true
+				}
+			}
+			op(incl, got)
+		}
+		if !hasExcl {
+			copy(excl, identity)
+		}
+		return excl, nil
+	}
 	for d := 1; d < p; d <<= 1 {
 		// Tags differ per round: the same pair can communicate in
 		// multiple rounds of different distance.
@@ -753,6 +851,23 @@ func (c *Comm) Barrier() error {
 	tag := c.nextTags(64)
 	p, rank := c.Size(), c.Rank()
 	round := 0
+	if c.onHypercube() {
+		// Pairwise-exchange barrier: round d swaps an empty message with
+		// the rank^d partner, so every round is a pre-opened edge. After
+		// log2(p) rounds each PE has (transitively) heard from all.
+		for d := 1; d < p; d <<= 1 {
+			roundTag := tag + round
+			round++
+			partner := rank ^ d
+			if err := c.send(partner, roundTag, nil); err != nil {
+				return err
+			}
+			if _, err := c.recv(partner, roundTag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for d := 1; d < p; d <<= 1 {
 		roundTag := tag + round
 		round++

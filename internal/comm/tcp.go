@@ -14,30 +14,94 @@ import (
 	"time"
 )
 
-// TCPNetwork is a full-mesh TCP transport over loopback: one connection
-// per unordered pair of PEs, length-prefixed binary frames (frame.go),
-// a buffered writer per connection flushed once per message, and a
-// reader goroutine per connection feeding the destination inbox. It
-// demonstrates that the framework and checkers are transport-agnostic;
-// the in-memory network remains the default for large simulations.
+// TCPNetwork is the in-process TCP transport: p per-rank nodes over
+// loopback, length-prefixed binary frames (frame.go), a buffered writer
+// per connection flushed once per message, and a reader goroutine per
+// connection feeding the destination inbox.
+//
+// Connections are opened by need, not by census: at setup only the
+// edges of the configured Topology are pre-opened (the full mesh by
+// default, for compatibility; a hypercube for O(p log p) scaling), and
+// the first Send along any other edge triggers a lazy,
+// handshake-deduplicated dial. ConnsOpen and DialsAttempted meter the
+// resulting connection bill. The same node machinery, exported as
+// TCPNode, runs one rank per OS process for multi-process and
+// multi-host deployments (see internal/dist's launcher).
 type TCPNetwork struct {
-	eps      []*tcpEndpoint
-	closed   chan struct{}
-	once     sync.Once
-	timeout  time.Duration // per-operation deadline; 0 = none
-	codec    TCPCodec
-	readers  sync.WaitGroup
-	wireSent atomic.Int64
-	wireRecv atomic.Int64
+	core  *tcpCore
+	nodes []*tcpNode
+}
+
+// tcpCore is the state shared by every node of one network: resolved
+// options, the closed channel, wire/connection counters, and the
+// goroutine ledger Close waits on. A single-node (cross-process)
+// TCPNode owns a core of its own.
+type tcpCore struct {
+	p            int
+	codec        TCPCodec
+	timeout      time.Duration // per-operation deadline; 0 = none
+	setupTimeout time.Duration
+	dialAttempts int
+	dialBackoff  time.Duration
+	topo         Topology
+	dial         func(from, to int, addr string, timeout time.Duration) (net.Conn, error)
+
+	closed chan struct{}
+	once   sync.Once
+	// ready flips once setup (construction or Connect) has completed:
+	// from then on a failed dial is an attributable peer death
+	// (PeerDownError), not a setup abort.
+	ready atomic.Bool
+
+	wireSent, wireRecv atomic.Int64
+	connsDialed        atomic.Int64
+	connsAccepted      atomic.Int64
+	dialsAttempted     atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[net.Conn]struct{} // conns mid-handshake, closed on shutdown
+	nodes    []*tcpNode
+	workers  sync.WaitGroup // accept loops, handshake handlers, readers
+}
+
+// tcpNode is one rank's worth of transport: its listener, its endpoint,
+// and one connection slot per peer. In a TCPNetwork all p nodes share a
+// core and a process; in a TCPNode exactly one does.
+type tcpNode struct {
+	core  *tcpCore
+	rank  int
+	addrs []string // peer listen addresses, indexed by rank
+	l     net.Listener
+	slots []*connSlot
+	ep    *tcpEndpoint
 }
 
 type tcpEndpoint struct {
-	net     *TCPNetwork
+	node    *tcpNode
 	rank    int
 	inbox   chan Message
 	pending []Message
-	conns   []*tcpConn // indexed by peer rank; nil for self
 	metrics Metrics
+}
+
+// Connection slot states. A slot serializes all connection
+// establishment toward one peer: the first sender (or the topology
+// pre-open) becomes the dialer, concurrent senders wait on the same
+// in-flight handshake, and the accept path resolves simultaneous
+// cross-dials with a rank tie-break.
+const (
+	slotEmpty   = iota // no connection, no dial in flight
+	slotDialing        // this node is dialing (or awaiting the peer's winning dial)
+	slotReady          // established; tc is the pair's connection
+	slotDead           // dial failed for good; err is sticky
+)
+
+type connSlot struct {
+	mu    sync.Mutex
+	state int
+	tc    *tcpConn
+	err   error
+	wait  chan struct{} // created on entering slotDialing; closed on leaving it
 }
 
 // tcpConn is one side of a pair link: the socket plus this side's
@@ -64,12 +128,24 @@ const (
 	CodecGob TCPCodec = "gob"
 )
 
-// defaultSetupTimeout bounds each dial and handshake during mesh setup.
-const defaultSetupTimeout = 10 * time.Second
+// Default TCP setup knobs; every one of them is overridable through
+// TCPOptions (and from there through dist.Config), so deployments with
+// slow links or staggered multi-host starts can tune the dial budget
+// instead of recompiling.
+const (
+	// DefaultSetupTimeout bounds each dial and handshake.
+	DefaultSetupTimeout = 10 * time.Second
+	// DefaultDialAttempts is how many times a single connection
+	// establishment retries a refused dial before giving up.
+	DefaultDialAttempts = 4
+	// DefaultDialBackoff is the first retry's backoff base; it doubles
+	// per attempt, with jitter.
+	DefaultDialBackoff = 25 * time.Millisecond
+)
 
-// TCPOptions configures NewTCPNetworkOpts. The zero value selects the
-// frame codec, the DefaultTimeout per-operation deadline, and a 10 s
-// setup bound.
+// TCPOptions configures NewTCPNetworkOpts and NewTCPNode. The zero
+// value selects the frame codec, the DefaultTimeout per-operation
+// deadline, the default setup knobs above, and the full-mesh topology.
 type TCPOptions struct {
 	// Timeout is the per-operation deadline: every blocking Send or Recv
 	// that exceeds it fails with an error naming the stuck operation.
@@ -77,14 +153,26 @@ type TCPOptions struct {
 	// sends, read deadlines on mid-frame stalls, and a timer on inbox
 	// matching. Zero selects DefaultTimeout, NoTimeout disables it.
 	Timeout time.Duration
-	// SetupTimeout bounds every dial and handshake while the mesh is
-	// being established; zero selects 10 s.
+	// SetupTimeout bounds every dial and handshake, both during setup
+	// and on later lazy dials; zero selects DefaultSetupTimeout.
 	SetupTimeout time.Duration
+	// DialAttempts caps the refused-dial retries per connection; zero
+	// selects DefaultDialAttempts. Raise it for staggered multi-host
+	// starts where a peer's listener may lag by seconds.
+	DialAttempts int
+	// DialBackoff is the base of the exponential retry backoff; zero
+	// selects DefaultDialBackoff.
+	DialBackoff time.Duration
+	// Topology selects which edges are pre-opened at setup; the zero
+	// value is TopoFullMesh (the historic eager mesh). Any edge outside
+	// the topology is dialed lazily on first use.
+	Topology Topology
 	// Codec selects the wire encoding; zero value is CodecFrame.
 	Codec TCPCodec
 	// dialFunc overrides the dialer, letting tests inject setup
-	// failures for specific (from, to) pairs.
-	dialFunc func(from, to int, addr string) (net.Conn, error)
+	// failures for specific (from, to) pairs and observe the effective
+	// setup timeout.
+	dialFunc func(from, to int, addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // msgWriter encodes messages onto one connection; writeMsg may buffer,
@@ -99,19 +187,8 @@ type msgReader interface {
 	readMsg() (Message, error)
 }
 
-// NewTCPNetwork builds a p-endpoint network over loopback TCP with
-// default options. All listeners and the full connection mesh are
-// established before it returns; any setup failure aborts the mesh and
-// returns an error — it never blocks indefinitely.
-func NewTCPNetwork(p int) (*TCPNetwork, error) {
-	return NewTCPNetworkOpts(p, TCPOptions{})
-}
-
-// NewTCPNetworkOpts is NewTCPNetwork with explicit options.
-func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("comm: NewTCPNetwork requires p >= 1, got %d", p)
-	}
+// newTCPCore validates and resolves opt into a core.
+func newTCPCore(p int, opt TCPOptions) (*tcpCore, error) {
 	codec := opt.Codec
 	if codec == "" {
 		codec = CodecFrame
@@ -119,220 +196,436 @@ func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
 	if codec != CodecFrame && codec != CodecGob {
 		return nil, fmt.Errorf("comm: unknown TCP codec %q", codec)
 	}
-	setupT := opt.SetupTimeout
-	if setupT <= 0 {
-		setupT = defaultSetupTimeout
+	topo := opt.Topology
+	if topo == "" {
+		topo = TopoFullMesh
 	}
-	dial := opt.dialFunc
-	if dial == nil {
-		dial = func(from, to int, addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, setupT)
+	if _, err := ParseTopology(string(topo)); err != nil {
+		return nil, err
+	}
+	c := &tcpCore{
+		p:            p,
+		codec:        codec,
+		timeout:      resolveTimeout(opt.Timeout),
+		setupTimeout: opt.SetupTimeout,
+		dialAttempts: opt.DialAttempts,
+		dialBackoff:  opt.DialBackoff,
+		topo:         topo,
+		closed:       make(chan struct{}),
+		inflight:     make(map[net.Conn]struct{}),
+	}
+	if c.setupTimeout <= 0 {
+		c.setupTimeout = DefaultSetupTimeout
+	}
+	if c.dialAttempts <= 0 {
+		c.dialAttempts = DefaultDialAttempts
+	}
+	if c.dialBackoff <= 0 {
+		c.dialBackoff = DefaultDialBackoff
+	}
+	c.dial = opt.dialFunc
+	if c.dial == nil {
+		c.dial = func(from, to int, addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	return c, nil
+}
 
-	n := &TCPNetwork{
-		eps:     make([]*tcpEndpoint, p),
-		closed:  make(chan struct{}),
-		timeout: resolveTimeout(opt.Timeout),
-		codec:   codec,
+func newTCPNode(core *tcpCore, rank int, l net.Listener) *tcpNode {
+	nd := &tcpNode{
+		core:  core,
+		rank:  rank,
+		l:     l,
+		slots: make([]*connSlot, core.p),
 	}
-	listeners := make([]net.Listener, p)
+	for i := range nd.slots {
+		nd.slots[i] = &connSlot{}
+	}
+	nd.ep = &tcpEndpoint{
+		node:  nd,
+		rank:  rank,
+		inbox: make(chan Message, 2*core.p+16),
+	}
+	return nd
+}
+
+// NewTCPNetwork builds a p-endpoint network over loopback TCP with
+// default options: frame codec, full-mesh topology established eagerly
+// before it returns. Any setup failure aborts the network and returns
+// an error — it never blocks indefinitely.
+func NewTCPNetwork(p int) (*TCPNetwork, error) {
+	return NewTCPNetworkOpts(p, TCPOptions{})
+}
+
+// NewTCPNetworkOpts is NewTCPNetwork with explicit options. Only the
+// configured topology's edges are pre-opened (and any pre-open failure
+// aborts setup with the causal error); every other pair is connected
+// lazily by its first Send, and a lazy dial failure surfaces as
+// comm.PeerDownError instead of aborting the network.
+func NewTCPNetworkOpts(p int, opt TCPOptions) (*TCPNetwork, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: NewTCPNetwork requires p >= 1, got %d", p)
+	}
+	core, err := newTCPCore(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*tcpNode, p)
+	addrs := make([]string, p)
 	for i := 0; i < p; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			for _, prev := range listeners[:i] {
-				prev.Close()
+			for _, nd := range nodes[:i] {
+				nd.l.Close()
 			}
 			return nil, fmt.Errorf("comm: listen for rank %d: %w", i, err)
 		}
-		listeners[i] = l
-		n.eps[i] = &tcpEndpoint{
-			net:   n,
-			rank:  i,
-			inbox: make(chan Message, 2*p+16),
-			conns: make([]*tcpConn, p),
-		}
+		nodes[i] = newTCPNode(core, i, l)
+		addrs[i] = l.Addr().String()
 	}
-
+	for _, nd := range nodes {
+		nd.addrs = addrs
+	}
+	core.nodes = nodes
+	for _, nd := range nodes {
+		core.workers.Add(1)
+		go nd.acceptLoop()
+	}
+	n := &TCPNetwork{core: core, nodes: nodes}
+	// Pre-open the topology's edges, lower rank dialing higher. The
+	// first failure shuts the sockets down so every other in-flight
+	// dial and accept fails fast, and the causal error is returned.
 	var (
-		mu       sync.Mutex
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
 		firstErr error
 	)
-	// abort records the first setup failure and immediately closes every
-	// listener and already-attached connection, so peers blocked in
-	// Accept, a dial, or a handshake fail fast and the Wait below always
-	// returns. (The seed's version hung forever here: a failed dial left
-	// the peer's Accept pending, and the deferred listener close sat
-	// behind the Wait it was supposed to unblock.)
-	abort := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil {
-			return
-		}
-		firstErr = err
-		for _, l := range listeners {
-			l.Close()
-		}
-		for _, ep := range n.eps {
-			for _, tc := range ep.conns {
-				if tc != nil {
-					tc.c.Close()
-				}
-			}
-		}
-	}
-	attach := func(rank, peer int, conn net.Conn) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil {
-			conn.Close()
-			return
-		}
-		cc := &countingConn{Conn: conn, owner: n}
-		n.eps[rank].conns[peer] = &tcpConn{c: cc, w: n.newMsgWriter(cc), timeout: n.timeout}
-	}
-	// dialRetry wraps each dial in bounded exponential backoff with
-	// jitter: in a staggered multi-host start a peer's listener may not
-	// be up yet, and its refused connection must not abort the whole
-	// mesh. The attempt cap keeps a genuinely dead peer failing well
-	// inside the setup timeout, and the loop bails out early once
-	// another goroutine has already aborted setup.
-	dialRetry := func(from, to int, addr string) (net.Conn, error) {
-		const dialAttempts = 4
-		backoff := 25 * time.Millisecond
-		var err error
-		for attempt := 0; attempt < dialAttempts; attempt++ {
-			var conn net.Conn
-			conn, err = dial(from, to, addr)
-			if err == nil {
-				return conn, nil
-			}
-			if attempt == dialAttempts-1 {
-				break
-			}
-			mu.Lock()
-			aborted := firstErr != nil
-			mu.Unlock()
-			if aborted {
-				break
-			}
-			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)))
-			backoff *= 2
-		}
-		return nil, err
-	}
-
-	// Rank i accepts from every lower rank and dials every higher rank,
-	// so each unordered pair gets exactly one connection.
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		i := i
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			for k := 0; k < i; k++ {
-				conn, err := listeners[i].Accept()
-				if err != nil {
-					abort(fmt.Errorf("comm: rank %d accept: %w", i, err))
-					return
-				}
-				peer, err := readHandshake(conn, setupT)
-				if err != nil {
-					conn.Close()
-					abort(fmt.Errorf("comm: rank %d handshake: %w", i, err))
-					return
-				}
-				if peer < 0 || peer >= i {
-					conn.Close()
-					abort(fmt.Errorf("comm: rank %d handshake: bad peer rank %d", i, peer))
-					return
-				}
-				attach(i, peer, conn)
-			}
-		}()
-		go func() {
-			defer wg.Done()
-			for j := i + 1; j < p; j++ {
-				conn, err := dialRetry(i, j, listeners[j].Addr().String())
-				if err != nil {
-					abort(fmt.Errorf("comm: rank %d dial %d: %w", i, j, err))
-					return
-				}
-				if err := writeHandshake(conn, i, setupT); err != nil {
-					conn.Close()
-					abort(fmt.Errorf("comm: rank %d handshake to %d: %w", i, j, err))
-					return
-				}
-				attach(i, j, conn)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, l := range listeners {
-		l.Close() // idempotent when abort already closed them
-	}
-	if firstErr != nil {
-		n.Close()
-		return nil, firstErr
-	}
-	for r, ep := range n.eps {
-		for peer, tc := range ep.conns {
-			if peer != r && tc == nil {
-				n.Close()
-				return nil, fmt.Errorf("comm: mesh incomplete: rank %d missing link to %d", r, peer)
-			}
-		}
-	}
-	// Mesh complete: start one reader per connection. Readers must not
-	// start earlier — a failed setup closes connections without
-	// synchronising with them, and no Send can happen before this
-	// function returns.
-	for _, ep := range n.eps {
-		for peer, tc := range ep.conns {
-			if tc == nil {
+	for _, nd := range nodes {
+		for _, q := range core.topo.Neighbors(nd.rank, p) {
+			if q <= nd.rank {
 				continue
 			}
-			n.readers.Add(1)
-			go n.readLoop(ep, peer, tc)
+			wg.Add(1)
+			go func(nd *tcpNode, q int) {
+				defer wg.Done()
+				if _, err := nd.ensure(q); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					core.shutdown()
+				}
+			}(nd, q)
 		}
 	}
+	wg.Wait()
+	if firstErr != nil {
+		core.close()
+		return nil, firstErr
+	}
+	core.ready.Store(true)
 	return n, nil
 }
 
-// writeHandshake identifies the dialer to the acceptor: a fixed 8-byte
-// little-endian rank, codec-independent so the message codec starts on
-// a clean stream right after it.
-func writeHandshake(conn net.Conn, rank int, timeout time.Duration) error {
+// ensure returns the established connection to peer, dialing it first
+// if needed. Concurrent callers share one handshake; the loser of a
+// simultaneous cross-dial adopts the winner's connection. A slot whose
+// dial has conclusively failed stays dead and keeps returning its
+// error.
+func (nd *tcpNode) ensure(peer int) (*tcpConn, error) {
+	s := nd.slots[peer]
+	for {
+		s.mu.Lock()
+		switch s.state {
+		case slotReady:
+			tc := s.tc
+			s.mu.Unlock()
+			return tc, nil
+		case slotDead:
+			err := s.err
+			s.mu.Unlock()
+			return nil, err
+		case slotEmpty:
+			s.state = slotDialing
+			s.wait = make(chan struct{})
+			s.mu.Unlock()
+			nd.dialPeer(peer) // leaves the slot ready or dead
+		case slotDialing:
+			ch := s.wait
+			s.mu.Unlock()
+			select {
+			case <-ch:
+			case <-nd.core.closed:
+				return nil, ErrClosed
+			}
+		}
+	}
+}
+
+// errDialRejected marks a dial that reached the peer but was superseded
+// by the peer's own simultaneous dial (rank tie-break): the winning
+// connection arrives through this node's accept loop instead.
+var errDialRejected = errors.New("comm: dial superseded by peer's connection")
+
+// dialPeer performs one connection establishment toward peer and
+// resolves the slot. The caller must have moved the slot to
+// slotDialing.
+func (nd *tcpNode) dialPeer(peer int) {
+	core := nd.core
+	s := nd.slots[peer]
+	tc, err := nd.dialHandshake(peer)
+	if err == nil {
+		s.mu.Lock()
+		if s.state == slotReady {
+			// Defensive: an accepted connection attached concurrently.
+			// Keep it; the protocol should never ACK both sides.
+			s.mu.Unlock()
+			tc.c.Close()
+			return
+		}
+		s.tc = tc
+		s.state = slotReady
+		close(s.wait)
+		s.mu.Unlock()
+		core.connsDialed.Add(1)
+		core.workers.Add(1)
+		go nd.readLoop(nd.ep, peer, tc)
+		return
+	}
+	if errors.Is(err, errDialRejected) {
+		// The peer is dialing us and won the tie-break; its connection
+		// lands via our accept loop, which flips the slot to ready.
+		timer := time.NewTimer(core.setupTimeout)
+		defer timer.Stop()
+		s.mu.Lock()
+		if s.state != slotDialing {
+			s.mu.Unlock()
+			return
+		}
+		ch := s.wait
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			return
+		case <-core.closed:
+			nd.failDial(peer, ErrClosed)
+			return
+		case <-timer.C:
+			nd.failDial(peer, fmt.Errorf("peer %d superseded our dial but its connection never arrived within %v", peer, core.setupTimeout))
+			return
+		}
+	}
+	nd.failDial(peer, err)
+}
+
+// failDial marks peer's slot dead with the attributed error. Before
+// setup completes the cause is reported verbatim (it aborts the whole
+// network); after setup it is wrapped in PeerDownError so lazy-dial
+// failures flow into the membership/attribution taxonomy — a peer that
+// cannot be dialed mid-run is down, not "timed out".
+func (nd *tcpNode) failDial(peer int, cause error) {
+	s := nd.slots[peer]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != slotDialing {
+		return
+	}
+	s.state = slotDead
+	if nd.core.ready.Load() {
+		s.err = fmt.Errorf("%w (lazy dial %s failed: %v)", &PeerDownError{Rank: peer}, nd.addrs[peer], cause)
+	} else {
+		s.err = fmt.Errorf("comm: rank %d dial %d: %w", nd.rank, peer, cause)
+	}
+	close(s.wait)
+}
+
+// dialHandshake dials peer with bounded retries and runs the dialer
+// side of the handshake: send HELLO, await the acceptor's ACK. A
+// connection that reaches the peer but is closed without an ACK lost a
+// simultaneous-dial tie-break and reports errDialRejected.
+func (nd *tcpNode) dialHandshake(peer int) (*tcpConn, error) {
+	core := nd.core
+	conn, err := nd.dialRetry(peer, nd.addrs[peer])
+	if err != nil {
+		return nil, err
+	}
+	core.registerInflight(conn)
+	defer core.unregisterInflight(conn)
+	if err := writeHello(conn, nd.rank, core.p, core.setupTimeout); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake to %d: %w", peer, err)
+	}
+	if err := readAck(conn, core.setupTimeout); err != nil {
+		conn.Close()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return nil, errDialRejected
+		}
+		return nil, fmt.Errorf("handshake to %d: %w", peer, err)
+	}
+	cc := &countingConn{Conn: conn, core: core}
+	return &tcpConn{c: cc, w: core.newMsgWriter(cc), timeout: core.timeout}, nil
+}
+
+// dialRetry wraps each dial in bounded exponential backoff with jitter:
+// in a staggered multi-process start a peer's listener may not be up
+// yet, and its refused connection must not fail the link. The attempt
+// cap keeps a genuinely dead peer failing well inside the setup budget,
+// and the loop bails out early once the network is shutting down.
+func (nd *tcpNode) dialRetry(peer int, addr string) (net.Conn, error) {
+	core := nd.core
+	backoff := core.dialBackoff
+	var err error
+	for attempt := 0; attempt < core.dialAttempts; attempt++ {
+		if core.isClosed() {
+			if err == nil {
+				err = ErrClosed
+			}
+			break
+		}
+		core.dialsAttempted.Add(1)
+		var conn net.Conn
+		conn, err = core.dial(nd.rank, peer, addr, core.setupTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt == core.dialAttempts-1 {
+			break
+		}
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)))
+		backoff *= 2
+	}
+	return nil, err
+}
+
+// acceptLoop admits inbound connections for this node's lifetime; each
+// handshake runs in its own goroutine so a stalled peer cannot block
+// later accepts.
+func (nd *tcpNode) acceptLoop() {
+	defer nd.core.workers.Done()
+	for {
+		conn, err := nd.l.Accept()
+		if err != nil {
+			return // listener closed: network shutting down
+		}
+		nd.core.registerInflight(conn)
+		nd.core.workers.Add(1)
+		go nd.handleAccept(conn)
+	}
+}
+
+// handleAccept runs the acceptor side of the handshake: read HELLO,
+// decide the tie-break under the slot lock, attach-and-ACK or close.
+func (nd *tcpNode) handleAccept(conn net.Conn) {
+	core := nd.core
+	defer core.workers.Done()
+	defer core.unregisterInflight(conn)
+	peer, p, err := readHello(conn, core.setupTimeout)
+	if err != nil || p != core.p || peer < 0 || peer >= core.p || peer == nd.rank {
+		conn.Close()
+		return
+	}
+	s := nd.slots[peer]
+	s.mu.Lock()
+	// Tie-break: an empty slot always accepts; a slot we are dialing
+	// accepts only the lower rank's connection (the peer applies the
+	// mirrored rule, so exactly one of two simultaneous dials survives);
+	// ready and dead slots refuse duplicates.
+	accept := s.state == slotEmpty || (s.state == slotDialing && peer < nd.rank)
+	if !accept {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	cc := &countingConn{Conn: conn, core: core}
+	tc := &tcpConn{c: cc, w: core.newMsgWriter(cc), timeout: core.timeout}
+	wasDialing := s.state == slotDialing
+	s.tc = tc
+	s.state = slotReady
+	if wasDialing {
+		close(s.wait)
+	}
+	s.mu.Unlock()
+	core.connsAccepted.Add(1)
+	core.workers.Add(1)
+	go nd.readLoop(nd.ep, peer, tc)
+	// ACK after the reader is live so no frame can race past us. A
+	// failed ACK write leaves the conn broken; the reader notices.
+	_ = writeAck(conn, core.setupTimeout)
+}
+
+// Handshake wire format. HELLO identifies the dialer and the expected
+// world size, codec-independent so the message codec starts on a clean
+// stream right after; ACK is the acceptor's single-byte go-ahead, which
+// doubles as the simultaneous-dial tie-break verdict (a rejected dial
+// sees its connection closed instead).
+const (
+	helloMagic = 0x52505254 // "RPRT"
+	helloLen   = 16         // magic u32 | p u32 | rank u64, little-endian
+	ackByte    = 0x2a
+)
+
+func writeHello(conn net.Conn, rank, p int, timeout time.Duration) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
 	defer conn.SetWriteDeadline(time.Time{})
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(rank))
+	var buf [helloLen]byte
+	binary.LittleEndian.PutUint32(buf[0:], helloMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(p))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(rank))
 	_, err := conn.Write(buf[:])
 	return err
 }
 
-// readHandshake reads the dialer's rank, bounded by the setup timeout
-// so a connected-but-silent peer cannot stall mesh setup.
-func readHandshake(conn net.Conn, timeout time.Duration) (int, error) {
+func readHello(conn net.Conn, timeout time.Duration) (rank, p int, err error) {
 	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer conn.SetReadDeadline(time.Time{})
-	var buf [8]byte
+	var buf [helloLen]byte
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return int(int64(binary.LittleEndian.Uint64(buf[:]))), nil
+	if binary.LittleEndian.Uint32(buf[0:]) != helloMagic {
+		return 0, 0, fmt.Errorf("comm: bad handshake magic")
+	}
+	p = int(binary.LittleEndian.Uint32(buf[4:]))
+	rank = int(int64(binary.LittleEndian.Uint64(buf[8:])))
+	return rank, p, nil
+}
+
+func writeAck(conn net.Conn, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	defer conn.SetWriteDeadline(time.Time{})
+	_, err := conn.Write([]byte{ackByte})
+	return err
+}
+
+func readAck(conn net.Conn, timeout time.Duration) error {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	defer conn.SetReadDeadline(time.Time{})
+	var buf [1]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return err
+	}
+	if buf[0] != ackByte {
+		return fmt.Errorf("comm: bad handshake ack %#x", buf[0])
+	}
+	return nil
 }
 
 // readLoop delivers peer's inbound messages to ep's inbox until the
 // connection or the network goes down.
-func (n *TCPNetwork) readLoop(ep *tcpEndpoint, peer int, tc *tcpConn) {
-	defer n.readers.Done()
-	r := n.newMsgReader(tc.c)
+func (nd *tcpNode) readLoop(ep *tcpEndpoint, peer int, tc *tcpConn) {
+	core := nd.core
+	defer core.workers.Done()
+	r := core.newMsgReader(tc.c)
 	for {
 		m, err := r.readMsg()
 		if err != nil {
@@ -343,10 +636,57 @@ func (n *TCPNetwork) readLoop(ep *tcpEndpoint, peer int, tc *tcpConn) {
 		}
 		select {
 		case ep.inbox <- m:
-		case <-n.closed:
+		case <-core.closed:
 			return
 		}
 	}
+}
+
+func (c *tcpCore) registerInflight(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight != nil {
+		c.inflight[conn] = struct{}{}
+	}
+}
+
+func (c *tcpCore) unregisterInflight(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inflight, conn)
+}
+
+// shutdown closes every socket exactly once: listeners, established
+// connections, and connections still mid-handshake, so every blocked
+// accept, dial, handshake, and read fails fast. It does not wait for
+// the workers; close does.
+func (c *tcpCore) shutdown() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		nodes := c.nodes
+		for conn := range c.inflight {
+			conn.Close()
+		}
+		c.mu.Unlock()
+		for _, nd := range nodes {
+			nd.l.Close()
+			for _, s := range nd.slots {
+				s.mu.Lock()
+				if s.tc != nil {
+					s.tc.c.Close()
+				}
+				s.mu.Unlock()
+			}
+		}
+	})
+}
+
+// close shuts the sockets down and waits until every transport
+// goroutine has exited.
+func (c *tcpCore) close() {
+	c.shutdown()
+	c.workers.Wait()
 }
 
 // tcpBufSize is the per-connection read and write buffer. Large enough
@@ -354,18 +694,18 @@ func (n *TCPNetwork) readLoop(ep *tcpEndpoint, peer int, tc *tcpConn) {
 // reaches the socket in one write.
 const tcpBufSize = 32 << 10
 
-func (n *TCPNetwork) newMsgWriter(conn net.Conn) msgWriter {
-	if n.codec == CodecGob {
+func (c *tcpCore) newMsgWriter(conn net.Conn) msgWriter {
+	if c.codec == CodecGob {
 		return &gobWriter{enc: gob.NewEncoder(conn)}
 	}
 	return &frameWriter{bw: bufio.NewWriterSize(conn, tcpBufSize)}
 }
 
-func (n *TCPNetwork) newMsgReader(conn net.Conn) msgReader {
-	if n.codec == CodecGob {
+func (c *tcpCore) newMsgReader(conn net.Conn) msgReader {
+	if c.codec == CodecGob {
 		return &gobReader{dec: gob.NewDecoder(conn)}
 	}
-	return &frameReader{c: conn, br: bufio.NewReaderSize(conn, tcpBufSize), timeout: n.timeout}
+	return &frameReader{c: conn, br: bufio.NewReaderSize(conn, tcpBufSize), timeout: c.timeout}
 }
 
 type frameWriter struct{ bw *bufio.Writer }
@@ -412,58 +752,63 @@ func (r *gobReader) readMsg() (Message, error) {
 }
 
 // countingConn meters raw socket traffic — framing included — into the
-// owning network's wire counters. The per-endpoint Metrics count
-// payload bytes only (the paper's volume metric); the difference
-// between the two is the codec's framing overhead.
+// owning core's wire counters. The per-endpoint Metrics count payload
+// bytes only (the paper's volume metric); the difference between the
+// two is the codec's framing overhead.
 type countingConn struct {
 	net.Conn
-	owner *TCPNetwork
+	core *tcpCore
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
-	c.owner.wireRecv.Add(int64(n))
+	c.core.wireRecv.Add(int64(n))
 	return n, err
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	c.owner.wireSent.Add(int64(n))
+	c.core.wireSent.Add(int64(n))
 	return n, err
 }
 
 // Size returns the number of PEs.
-func (n *TCPNetwork) Size() int { return len(n.eps) }
+func (n *TCPNetwork) Size() int { return n.core.p }
 
 // Endpoint returns rank's endpoint.
-func (n *TCPNetwork) Endpoint(r int) Endpoint { return n.eps[r] }
+func (n *TCPNetwork) Endpoint(r int) Endpoint { return n.nodes[r].ep }
+
+// Topology returns the connection graph pre-opened at setup. The dist
+// runtime sniffs it to route the collectives over pre-opened edges.
+func (n *TCPNetwork) Topology() Topology { return n.core.topo }
 
 // WireBytes returns the total bytes written to and read from the
 // network's sockets across all connections, message framing included.
 func (n *TCPNetwork) WireBytes() (sent, recv int64) {
-	return n.wireSent.Load(), n.wireRecv.Load()
+	return n.core.wireSent.Load(), n.core.wireRecv.Load()
 }
 
+// ConnsOpen returns how many TCP connections the network has
+// established, each pair link counted once (at its dialer). A full mesh
+// costs p(p-1)/2; a hypercube run that stays on its edges costs
+// Topology.Edges(p) ∈ O(p log p) — the quantity the acceptance tests
+// bound.
+func (n *TCPNetwork) ConnsOpen() int64 { return n.core.connsDialed.Load() }
+
+// DialsAttempted returns how many TCP dial attempts (including retries)
+// the network has made.
+func (n *TCPNetwork) DialsAttempted() int64 { return n.core.dialsAttempted.Load() }
+
 // Close tears the network down: pending and future operations fail with
-// ErrClosed, and all reader goroutines have exited when it returns.
+// ErrClosed, and all transport goroutines have exited when it returns.
 func (n *TCPNetwork) Close() error {
-	n.once.Do(func() {
-		close(n.closed)
-		for _, ep := range n.eps {
-			for _, tc := range ep.conns {
-				if tc != nil {
-					tc.c.Close()
-				}
-			}
-		}
-		n.readers.Wait()
-	})
+	n.core.close()
 	return nil
 }
 
-func (n *TCPNetwork) isClosed() bool {
+func (c *tcpCore) isClosed() bool {
 	select {
-	case <-n.closed:
+	case <-c.closed:
 		return true
 	default:
 		return false
@@ -475,27 +820,35 @@ func (n *TCPNetwork) isClosed() bool {
 // dist's first-error teardown attributes the root cause instead of the
 // victims' "use of closed network connection" noise), and deadline
 // expiries say "timeout".
-func (n *TCPNetwork) mapConnErr(err error) error {
-	if errors.Is(err, net.ErrClosed) || n.isClosed() {
+func (c *tcpCore) mapConnErr(err error) error {
+	if errors.Is(err, net.ErrClosed) || c.isClosed() {
 		return ErrClosed
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
-		return fmt.Errorf("timeout after %v: %w", n.timeout, err)
+		return fmt.Errorf("timeout after %v: %w", c.timeout, err)
 	}
 	return err
 }
 
 func (e *tcpEndpoint) Rank() int         { return e.rank }
-func (e *tcpEndpoint) Size() int         { return len(e.net.eps) }
+func (e *tcpEndpoint) Size() int         { return e.node.core.p }
 func (e *tcpEndpoint) Metrics() *Metrics { return &e.metrics }
 
+// ConnsOpen exposes the dialed-connection count through the endpoint,
+// so layers that only hold an Endpoint (collective.Comm) can meter the
+// connection bill. Counted at the dialer: in-process networks report
+// each pair link once; across processes the per-rank counts sum to the
+// network-wide total.
+func (e *tcpEndpoint) ConnsOpen() int64 { return e.node.core.connsDialed.Load() }
+
 func (e *tcpEndpoint) Send(dst, tag int, payload []byte) error {
+	core := e.node.core
 	if err := validRank(dst, e.Size()); err != nil {
 		return err
 	}
 	msg := Message{Src: e.rank, Tag: tag, Payload: payload}
-	if e.net.isClosed() {
+	if core.isClosed() {
 		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, ErrClosed)
 	}
 	if dst == e.rank {
@@ -505,20 +858,26 @@ func (e *tcpEndpoint) Send(dst, tag int, payload []byte) error {
 			return nil
 		default:
 		}
-		deadline, stop := opDeadline(e.net.timeout)
+		deadline, stop := opDeadline(core.timeout)
 		defer stop()
 		select {
 		case e.inbox <- msg:
 			e.metrics.addSent(len(payload))
 			return nil
-		case <-e.net.closed:
+		case <-core.closed:
 			return ErrClosed
 		case <-deadline:
-			return fmt.Errorf("comm: PE %d send to self (tag=%d): timeout after %v; likely deadlock", e.rank, tag, e.net.timeout)
+			return fmt.Errorf("comm: PE %d send to self (tag=%d): timeout after %v; likely deadlock", e.rank, tag, core.timeout)
 		}
 	}
-	if err := e.conns[dst].send(msg); err != nil {
-		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, e.net.mapConnErr(err))
+	// Lazy establishment: the first send along an edge dials it (or
+	// joins an in-flight handshake); later sends find the slot ready.
+	tc, err := e.node.ensure(dst)
+	if err != nil {
+		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, err)
+	}
+	if err := tc.send(msg); err != nil {
+		return fmt.Errorf("comm: PE %d send to %d: %w", e.rank, dst, core.mapConnErr(err))
 	}
 	e.metrics.addSent(len(payload))
 	return nil
@@ -541,6 +900,7 @@ func (tc *tcpConn) send(m Message) error {
 }
 
 func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
+	core := e.node.core
 	if err := validRank(src, e.Size()); err != nil {
 		return nil, err
 	}
@@ -551,7 +911,7 @@ func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
 			return m.Payload, nil
 		}
 	}
-	deadline, stop := opDeadline(e.net.timeout)
+	deadline, stop := opDeadline(core.timeout)
 	defer stop()
 	for {
 		select {
@@ -561,30 +921,31 @@ func (e *tcpEndpoint) Recv(src, tag int) ([]byte, error) {
 				return m.Payload, nil
 			}
 			e.pending = append(e.pending, m)
-		case <-e.net.closed:
+		case <-core.closed:
 			return nil, ErrClosed
 		case <-deadline:
-			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): timeout after %v; likely deadlock", e.rank, src, tag, e.net.timeout)
+			return nil, fmt.Errorf("comm: PE %d recv (src=%d, tag=%d): timeout after %v; likely deadlock", e.rank, src, tag, core.timeout)
 		}
 	}
 }
 
 func (e *tcpEndpoint) RecvAny() (Message, error) {
+	core := e.node.core
 	if len(e.pending) > 0 {
 		m := e.pending[0]
 		e.pending = e.pending[1:]
 		e.metrics.addRecv(len(m.Payload))
 		return m, nil
 	}
-	deadline, stop := opDeadline(e.net.timeout)
+	deadline, stop := opDeadline(core.timeout)
 	defer stop()
 	select {
 	case m := <-e.inbox:
 		e.metrics.addRecv(len(m.Payload))
 		return m, nil
-	case <-e.net.closed:
+	case <-core.closed:
 		return Message{}, ErrClosed
 	case <-deadline:
-		return Message{}, fmt.Errorf("comm: PE %d recv (any): timeout after %v; likely deadlock", e.rank, e.net.timeout)
+		return Message{}, fmt.Errorf("comm: PE %d recv (any): timeout after %v; likely deadlock", e.rank, core.timeout)
 	}
 }

@@ -24,11 +24,11 @@ func TestTCPSetupDialFailureReturns(t *testing.T) {
 			go func() {
 				n, err := NewTCPNetworkOpts(4, TCPOptions{
 					SetupTimeout: 2 * time.Second,
-					dialFunc: func(from, to int, addr string) (net.Conn, error) {
+					dialFunc: func(from, to int, addr string, timeout time.Duration) (net.Conn, error) {
 						if from == fail.from && to == fail.to {
 							return nil, errors.New("injected dial failure")
 						}
-						return net.DialTimeout("tcp", addr, 2*time.Second)
+						return net.DialTimeout("tcp", addr, timeout)
 					},
 				})
 				if err == nil {
@@ -63,8 +63,8 @@ func TestTCPSetupHandshakeStallReturns(t *testing.T) {
 		var stalled net.Conn
 		n, err := NewTCPNetworkOpts(3, TCPOptions{
 			SetupTimeout: 300 * time.Millisecond,
-			dialFunc: func(from, to int, addr string) (net.Conn, error) {
-				conn, derr := net.DialTimeout("tcp", addr, 2*time.Second)
+			dialFunc: func(from, to int, addr string, timeout time.Duration) (net.Conn, error) {
+				conn, derr := net.DialTimeout("tcp", addr, timeout)
 				if derr != nil {
 					return nil, derr
 				}

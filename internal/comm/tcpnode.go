@@ -1,0 +1,155 @@
+package comm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPNode is one rank's worth of TCP transport for cross-process (and
+// cross-host) deployments: the same node machinery TCPNetwork runs p of
+// in one process, owning its listener, its connection slots, and its
+// single local endpoint. Lifecycle: NewTCPNode binds the listener (so
+// Addr can be exchanged through a rendezvous or host list while peers
+// are still starting), Connect installs the address book and pre-opens
+// this rank's share of the topology, and from then on it is a
+// comm.Network whose only usable endpoint is the local rank's.
+type TCPNode struct {
+	core *tcpCore
+	node *tcpNode
+
+	mu        sync.Mutex
+	connected bool
+}
+
+// NewTCPNode binds a listener for rank (one of p) on bind and starts
+// accepting peer connections. bind may be "" for loopback with an
+// OS-assigned port, "host:0" to pick a port on a specific interface, or
+// a full "host:port". The node is not usable for traffic until Connect
+// has installed the address book.
+func NewTCPNode(rank, p int, bind string, opt TCPOptions) (*TCPNode, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: NewTCPNode requires p >= 1, got %d", p)
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("comm: NewTCPNode rank %d out of range [0,%d)", rank, p)
+	}
+	core, err := newTCPCore(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen for rank %d on %s: %w", rank, bind, err)
+	}
+	nd := newTCPNode(core, rank, l)
+	core.nodes = []*tcpNode{nd}
+	core.workers.Add(1)
+	go nd.acceptLoop()
+	return &TCPNode{core: core, node: nd}, nil
+}
+
+// Addr returns the listener's address — the string peers must be given
+// (via host list or rendezvous) to reach this rank. When bound to an
+// unspecified host ("0.0.0.0", ":0") the caller is responsible for
+// substituting a routable host before advertising it.
+func (n *TCPNode) Addr() string { return n.node.l.Addr().String() }
+
+// Connect installs the address book (addrs[r] is rank r's listener
+// address; this rank's own entry is ignored) and pre-opens this rank's
+// lower-rank-dials-higher share of the topology's edges. It returns
+// once those connections are established — peers' dials toward this
+// rank land asynchronously via the accept loop — and any pre-open
+// failure is a setup error that leaves the node closed.
+func (n *TCPNode) Connect(addrs []string) error {
+	core := n.core
+	if len(addrs) != core.p {
+		return fmt.Errorf("comm: Connect wants %d addresses, got %d", core.p, len(addrs))
+	}
+	n.mu.Lock()
+	if n.connected {
+		n.mu.Unlock()
+		return fmt.Errorf("comm: node %d already connected", n.node.rank)
+	}
+	n.connected = true
+	n.node.addrs = append([]string(nil), addrs...)
+	n.mu.Unlock()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, q := range core.topo.Neighbors(n.node.rank, core.p) {
+		if q <= n.node.rank {
+			continue // the lower rank of each edge dials it
+		}
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if _, err := n.node.ensure(q); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(q)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		core.close()
+		return firstErr
+	}
+	core.ready.Store(true)
+	return nil
+}
+
+// Rank returns the local rank this node hosts.
+func (n *TCPNode) Rank() int { return n.node.rank }
+
+// Size returns the number of PEs in the distributed run.
+func (n *TCPNode) Size() int { return n.core.p }
+
+// Endpoint returns the local rank's endpoint. Unlike the in-process
+// transports a TCPNode hosts exactly one rank, so asking for any other
+// rank's endpoint is a programming error and panics.
+func (n *TCPNode) Endpoint(r int) Endpoint {
+	if r != n.node.rank {
+		panic(fmt.Sprintf("comm: TCPNode hosts only rank %d; Endpoint(%d) lives in another process", n.node.rank, r))
+	}
+	return n.node.ep
+}
+
+// Topology returns the connection graph pre-opened at Connect.
+func (n *TCPNode) Topology() Topology { return n.core.topo }
+
+// ConnsOpen returns how many TCP connections this process holds —
+// dialed plus accepted, the process's fd bill. (TCPNetwork's ConnsOpen
+// counts each pair link once network-wide; a cross-process run's
+// network-wide count is the sum of per-node dialed counts, or
+// equivalently half the sum of per-node ConnsOpen.)
+func (n *TCPNode) ConnsOpen() int64 {
+	return n.core.connsDialed.Load() + n.core.connsAccepted.Load()
+}
+
+// DialsAttempted returns how many TCP dial attempts (including retries)
+// this node has made.
+func (n *TCPNode) DialsAttempted() int64 { return n.core.dialsAttempted.Load() }
+
+// WireBytes returns the raw socket traffic through this node, framing
+// included.
+func (n *TCPNode) WireBytes() (sent, recv int64) {
+	return n.core.wireSent.Load(), n.core.wireRecv.Load()
+}
+
+// Close tears the node down; pending and future operations fail with
+// ErrClosed. Peers observe the usual connection loss semantics
+// (their sends to this rank fail, their reads return).
+func (n *TCPNode) Close() error {
+	n.core.close()
+	return nil
+}

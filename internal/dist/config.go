@@ -67,6 +67,22 @@ type Config struct {
 	// it next touches the network. Zero keeps the transports'
 	// DefaultTimeout deadlock backstop and applies no whole-run bound.
 	Timeout time.Duration
+	// Topology selects the connection graph the TCP transport pre-opens
+	// (comm.TopoFullMesh, TopoRing, TopoHypercube, TopoNone); empty
+	// means full mesh. Ignored by mem and simnet, which have no
+	// connections. The workers' collectives pick the topology up
+	// automatically and route their recursive-doubling rounds over its
+	// edges, so a hypercube run's connection bill stays O(p log p).
+	Topology comm.Topology
+	// SetupTimeout bounds each TCP dial and handshake (setup and lazy);
+	// zero means comm.DefaultSetupTimeout.
+	SetupTimeout time.Duration
+	// DialAttempts caps per-connection dial retries on the TCP
+	// transport; zero means comm.DefaultDialAttempts.
+	DialAttempts int
+	// DialBackoff is the TCP dial retry backoff base; zero means
+	// comm.DefaultDialBackoff.
+	DialBackoff time.Duration
 }
 
 // DefaultConfig returns the in-memory transport with the documented
@@ -95,9 +111,23 @@ func (c Config) NewNetwork(p int) (comm.Network, error) {
 		}
 		return comm.NewSimNetworkTimeout(p, alpha, beta, c.Timeout), nil
 	case TransportTCP:
-		return comm.NewTCPNetworkOpts(p, comm.TCPOptions{Timeout: c.Timeout})
+		return comm.NewTCPNetworkOpts(p, c.TCPOptions())
 	}
 	return nil, fmt.Errorf("dist: unknown transport %q (want mem, simnet, or tcp)", c.Transport)
+}
+
+// TCPOptions translates the config's transport knobs into the comm
+// layer's option struct — shared by NewNetwork's in-process path and
+// the launcher's per-process TCPNode path, so both resolve the knobs
+// identically.
+func (c Config) TCPOptions() comm.TCPOptions {
+	return comm.TCPOptions{
+		Timeout:      c.Timeout,
+		SetupTimeout: c.SetupTimeout,
+		DialAttempts: c.DialAttempts,
+		DialBackoff:  c.DialBackoff,
+		Topology:     c.Topology,
+	}
 }
 
 // RunConfig executes body as p SPMD workers over the transport cfg

@@ -94,15 +94,22 @@ func workerSeed(seed uint64, rank int) uint64 {
 	return hashing.Mix64(seed + workerSeedGamma*uint64(rank+1))
 }
 
-// newWorker builds rank's execution context over net.
+// newWorker builds rank's execution context over net. Networks that
+// expose their connection topology (the TCP transport) get it installed
+// as the collectives' routing hint, so a hypercube run's trees, scans,
+// and barriers travel only pre-opened edges.
 func newWorker(net comm.Network, rank int, seed uint64) *Worker {
-	return &Worker{
+	w := &Worker{
 		rank: rank,
 		size: net.Size(),
 		seed: seed,
 		Coll: collective.New(net.Endpoint(rank)),
 		Rng:  hashing.NewMT19937_64(workerSeed(seed, rank)),
 	}
+	if tn, ok := net.(interface{ Topology() comm.Topology }); ok {
+		w.Coll.SetTopology(tn.Topology())
+	}
+	return w
 }
 
 // NewWorkers builds one persistent Worker per endpoint of net and
@@ -222,6 +229,25 @@ func RunNetwork(net comm.Network, seed uint64, body func(w *Worker) error) error
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// RunLocal executes body as the single local worker of a distributed
+// run whose other ranks live in other processes: net hosts exactly one
+// endpoint locally (a comm.TCPNode), and rank names it. It is
+// RunNetwork's one-goroutine degenerate case with the same failure
+// semantics — a body error or panic closes the network, so remote peers
+// blocked on this rank fail fast instead of deadlocking — and the same
+// worker construction, so verdicts are bit-identical to an in-process
+// run with equal (p, seed).
+func RunLocal(net comm.Network, rank int, seed uint64, body func(w *Worker) error) error {
+	if rank < 0 || rank >= net.Size() {
+		return fmt.Errorf("dist: RunLocal rank %d out of range [0, %d)", rank, net.Size())
+	}
+	err := runBody(newWorker(net, rank, seed), body)
+	if err != nil {
+		net.Close()
+	}
+	return err
 }
 
 // runBody executes body on w, converting a panic into an error so one

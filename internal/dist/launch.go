@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"repro/internal/comm"
+)
+
+// LaunchConfig describes one rank's membership in a multi-process run.
+// Exactly one of Hosts (static host list: every rank's listen address
+// known up front) or Rendezvous (dynamic: ranks bind anywhere and
+// exchange addresses through the rendezvous service) must be set.
+type LaunchConfig struct {
+	// Rank is this process's rank.
+	Rank int
+	// P is the world size. With a host list it may be left 0 (it is
+	// len(Hosts)); with a rendezvous it is required.
+	P int
+	// Hosts is the static address book: Hosts[r] is rank r's listen
+	// address, with an explicit port. This process binds Hosts[Rank].
+	Hosts []string
+	// Rendezvous is the rendezvous service's address.
+	Rendezvous string
+	// Bind is the local listen address in rendezvous mode ("" means
+	// loopback with an OS-assigned port). Ignored in host-list mode,
+	// where Hosts[Rank] dictates it.
+	Bind string
+	// Advertise, when non-empty, replaces the host part of the address
+	// announced to the rendezvous — for machines where the bind address
+	// (e.g. "0.0.0.0") is not what peers should dial. The listener's
+	// actual port is kept.
+	Advertise string
+	// Config carries the transport knobs (topology, timeouts, dial
+	// budget). The Transport field is ignored: a multi-process run is
+	// TCP by construction.
+	Config Config
+}
+
+// ParseHosts parses a comma-separated host list ("h0:p0,h1:p1,...")
+// into an address book, rejecting empty entries, missing ports, and
+// duplicate addresses (two ranks cannot share a listener).
+func ParseHosts(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	hosts := make([]string, 0, len(parts))
+	seen := make(map[string]int)
+	for i, part := range parts {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("dist: host list entry %d is empty", i)
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dist: host list entry %d (%q): %w", i, addr, err)
+		}
+		if host == "" || port == "" || port == "0" {
+			return nil, fmt.Errorf("dist: host list entry %d (%q) needs an explicit host and port", i, addr)
+		}
+		if prev, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("dist: host list assigns %q to both rank %d and rank %d", addr, prev, i)
+		}
+		seen[addr] = i
+		hosts = append(hosts, addr)
+	}
+	return hosts, nil
+}
+
+// Join bootstraps this process's rank into the distributed run: bind
+// the listener, learn the address book (statically from the host list
+// or dynamically through the rendezvous), and pre-open this rank's
+// share of the configured topology. The returned node is a
+// comm.Network hosting the local rank's endpoint — run the SPMD body
+// on it with RunLocal.
+func Join(lc LaunchConfig) (*comm.TCPNode, error) {
+	opt := lc.Config.TCPOptions()
+	switch {
+	case len(lc.Hosts) > 0 && lc.Rendezvous != "":
+		return nil, fmt.Errorf("dist: Join wants a host list or a rendezvous, not both")
+	case len(lc.Hosts) > 0:
+		p := len(lc.Hosts)
+		if lc.P != 0 && lc.P != p {
+			return nil, fmt.Errorf("dist: Join: P=%d contradicts a host list of %d entries", lc.P, p)
+		}
+		if lc.Rank < 0 || lc.Rank >= p {
+			return nil, fmt.Errorf("dist: Join: rank %d out of range for %d hosts", lc.Rank, p)
+		}
+		node, err := comm.NewTCPNode(lc.Rank, p, lc.Hosts[lc.Rank], opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := node.Connect(lc.Hosts); err != nil {
+			node.Close()
+			return nil, fmt.Errorf("dist: rank %d connecting to host list: %w", lc.Rank, err)
+		}
+		return node, nil
+	case lc.Rendezvous != "":
+		if lc.P < 1 {
+			return nil, fmt.Errorf("dist: Join via rendezvous requires P >= 1, got %d", lc.P)
+		}
+		if lc.Rank < 0 || lc.Rank >= lc.P {
+			return nil, fmt.Errorf("dist: Join: rank %d out of range [0, %d)", lc.Rank, lc.P)
+		}
+		node, err := comm.NewTCPNode(lc.Rank, lc.P, lc.Bind, opt)
+		if err != nil {
+			return nil, err
+		}
+		selfAddr, err := advertisedAddr(node.Addr(), lc.Advertise)
+		if err != nil {
+			node.Close()
+			return nil, err
+		}
+		book, err := Register(lc.Rendezvous, lc.Rank, lc.P, selfAddr, opt.SetupTimeout)
+		if err != nil {
+			node.Close()
+			return nil, err
+		}
+		if err := node.Connect(book); err != nil {
+			node.Close()
+			return nil, fmt.Errorf("dist: rank %d connecting to rendezvous book: %w", lc.Rank, err)
+		}
+		return node, nil
+	}
+	return nil, fmt.Errorf("dist: Join needs a host list or a rendezvous address")
+}
+
+// advertisedAddr swaps the host part of the bound listen address for
+// the advertise host, keeping the actual port.
+func advertisedAddr(bound, advertise string) (string, error) {
+	if advertise == "" {
+		return bound, nil
+	}
+	_, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "", fmt.Errorf("dist: bound address %q: %w", bound, err)
+	}
+	if h, _, err := net.SplitHostPort(advertise); err == nil && h != "" {
+		// A full host:port advertise address is taken verbatim.
+		return advertise, nil
+	}
+	return net.JoinHostPort(advertise, port), nil
+}

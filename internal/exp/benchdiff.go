@@ -12,12 +12,13 @@ import (
 // one roof, so CI can diff a fresh run against the committed baseline
 // and watch the performance trajectory across PRs.
 type BenchArtifact struct {
-	Local   []LocalBenchRow   `json:"local,omitempty"`
-	Net     []NetBenchRow     `json:"net,omitempty"`
-	Stream  []StreamBenchRow  `json:"stream,omitempty"`
+	Local    []LocalBenchRow    `json:"local,omitempty"`
+	Net      []NetBenchRow      `json:"net,omitempty"`
+	Stream   []StreamBenchRow   `json:"stream,omitempty"`
 	Overlap  []OverlapBenchRow  `json:"overlap,omitempty"`
 	Service  []ServiceBenchRow  `json:"service,omitempty"`
 	Recovery []RecoveryBenchRow `json:"recovery,omitempty"`
+	Topology []TopoBenchRow     `json:"topology,omitempty"`
 }
 
 // ReadBenchArtifact loads a baseline artifact from disk.
@@ -131,6 +132,17 @@ func DiffBench(baseline, current BenchArtifact) []BenchDelta {
 		key := fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P)
 		if base, ok := rec[key]; ok {
 			add(key, base, float64(r.RecoverNs))
+		}
+	}
+
+	topo := map[string]float64{}
+	for _, r := range baseline.Topology {
+		topo[fmt.Sprintf("topology/%s/p%d", r.Topology, r.P)] = r.SetupNs
+	}
+	for _, r := range current.Topology {
+		key := fmt.Sprintf("topology/%s/p%d", r.Topology, r.P)
+		if base, ok := topo[key]; ok {
+			add(key, base, r.SetupNs)
 		}
 	}
 	return deltas

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/dist"
+)
+
+// TopoBenchOptions configures the topology benchmark: the same p-PE
+// TCP setup plus one checked allreduce sweep, once per topology,
+// quantifying what the sparse topology buys at bootstrap — connection
+// count and setup latency — and what the rerouted collectives cost at
+// run time.
+type TopoBenchOptions struct {
+	PEs     []int // mesh sizes to measure
+	Words   int   // words per PE per allreduce
+	Rounds  int   // allreduces per repetition
+	Repeats int   // repetitions, fastest wins
+	Seed    uint64
+}
+
+// DefaultTopoBenchOptions returns CI-scale defaults. 16 PEs is where
+// the full mesh's 120 loopback connections already dwarf the
+// hypercube's 32.
+func DefaultTopoBenchOptions() TopoBenchOptions {
+	return TopoBenchOptions{PEs: []int{4, 8, 16}, Words: 64, Rounds: 20, Repeats: 3, Seed: 0x701}
+}
+
+// TopoBenchRow is one (topology, p) measurement. ConnsOpen counts TCP
+// connections actually dialed network-wide; SetupNs is the fastest
+// wall time to stand the mesh up (listeners, handshakes, pre-opened
+// edges); AllReduceNs times the collective sweep afterwards, proving
+// the sparse topology pays at bootstrap without costing correctness.
+type TopoBenchRow struct {
+	Benchmark      string  `json:"benchmark"` // "topology-setup"
+	Topology       string  `json:"topology"`  // "full", "hypercube"
+	P              int     `json:"p"`
+	ConnsOpen      int64   `json:"conns_open"`
+	DialsAttempted int64   `json:"dials_attempted"`
+	SetupNs        float64 `json:"setup_ns"`
+	AllReduceNs    float64 `json:"allreduce_ns_per_op"`
+}
+
+// TopoBench measures full-mesh vs hypercube setup for every requested
+// p. Every variant runs the identical post-setup allreduce schedule
+// and verifies the reduction, so a topology that drops messages or
+// misroutes a tree fails loudly instead of benchmarking garbage.
+func TopoBench(opt TopoBenchOptions) ([]TopoBenchRow, error) {
+	d := DefaultTopoBenchOptions()
+	if len(opt.PEs) == 0 {
+		opt.PEs = d.PEs
+	}
+	if opt.Words <= 0 {
+		opt.Words = d.Words
+	}
+	if opt.Rounds <= 0 {
+		opt.Rounds = d.Rounds
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = d.Repeats
+	}
+	var rows []TopoBenchRow
+	for _, p := range opt.PEs {
+		for _, topo := range []comm.Topology{comm.TopoFullMesh, comm.TopoHypercube} {
+			row, err := topoBenchOne(opt, topo, p)
+			if err != nil {
+				return nil, fmt.Errorf("exp: topo bench %s p=%d: %w", topo, p, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func topoBenchOne(opt TopoBenchOptions, topo comm.Topology, p int) (TopoBenchRow, error) {
+	words := make([]uint64, opt.Words)
+	for i := range words {
+		words[i] = opt.Seed + uint64(i)*0x9e3779b97f4a7c15
+	}
+	body := func(w *dist.Worker) error {
+		for r := 0; r < opt.Rounds; r++ {
+			got, err := w.Coll.AllReduce(words, collective.OpXor)
+			if err != nil {
+				return err
+			}
+			want := uint64(0)
+			if p%2 == 1 {
+				want = words[0]
+			}
+			if got[0] != want {
+				return fmt.Errorf("allreduce result corrupted: got %#x, want %#x", got[0], want)
+			}
+		}
+		return nil
+	}
+	row := TopoBenchRow{Benchmark: "topology-setup", Topology: string(topo), P: p}
+	bestSetup, bestAll := time.Duration(0), time.Duration(0)
+	for rep := 0; rep < opt.Repeats; rep++ {
+		start := time.Now()
+		net, err := comm.NewTCPNetworkOpts(p, comm.TCPOptions{Topology: topo})
+		if err != nil {
+			return TopoBenchRow{}, err
+		}
+		setup := time.Since(start)
+		if bestSetup == 0 || setup < bestSetup {
+			bestSetup = setup
+		}
+		start = time.Now()
+		if err := dist.RunNetwork(net, opt.Seed, body); err != nil {
+			net.Close()
+			return TopoBenchRow{}, err
+		}
+		if el := time.Since(start); bestAll == 0 || el < bestAll {
+			bestAll = el
+		}
+		// The connection bill is deterministic per (topology, p): record
+		// it once and sanity-check it against the graph.
+		row.ConnsOpen = net.ConnsOpen()
+		row.DialsAttempted = net.DialsAttempted()
+		net.Close()
+	}
+	if want := int64(topo.Edges(p)); topo == comm.TopoHypercube && row.ConnsOpen != want {
+		return TopoBenchRow{}, fmt.Errorf("hypercube p=%d opened %d connections, want %d — collectives strayed off pre-opened edges", p, row.ConnsOpen, want)
+	}
+	row.SetupNs = float64(bestSetup.Nanoseconds())
+	row.AllReduceNs = float64(bestAll.Nanoseconds()) / float64(opt.Rounds)
+	return row, nil
+}
+
+// RenderTopoBench prints the topology comparison table.
+func RenderTopoBench(rows []TopoBenchRow) string {
+	var b strings.Builder
+	b.WriteString("Topology benchmark: TCP mesh setup and checked allreduce per topology\n")
+	b.WriteString("(conns is the network-wide dial count: p(p-1)/2 for full, (p/2)log2(p) for hypercube)\n\n")
+	fmt.Fprintf(&b, "%-10s %6s %8s %8s %14s %16s\n", "topology", "p", "conns", "dials", "setup ms", "allreduce us/op")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %6d %8d %8d %14.2f %16.1f\n",
+			r.Topology, r.P, r.ConnsOpen, r.DialsAttempted, r.SetupNs/1e6, r.AllReduceNs/1e3)
+	}
+	// Headline: what the sparse topology saves at each p.
+	fullAt := map[int]int64{}
+	for _, r := range rows {
+		if r.Topology == string(comm.TopoFullMesh) {
+			fullAt[r.P] = r.ConnsOpen
+		}
+	}
+	for _, r := range rows {
+		if r.Topology != string(comm.TopoHypercube) {
+			continue
+		}
+		if full, ok := fullAt[r.P]; ok && r.ConnsOpen > 0 {
+			fmt.Fprintf(&b, "\np=%d: hypercube opens %d of the mesh's %d connections (%.1fx fewer, O(p log p) bound %d)\n",
+				r.P, r.ConnsOpen, full, float64(full)/float64(r.ConnsOpen), r.P*(bits.Len(uint(r.P-1))+1))
+		}
+	}
+	return b.String()
+}
