@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// newDebugMux builds the introspection surface behind `serve
+// -debug-addr`: pprof under /debug/pprof/, the unified metrics
+// registry at /metrics (plain text, one "name value" per line), the
+// recorded spans as a Chrome trace_event JSON download at /trace, and
+// the pool's PoolStats as JSON at /stats.
+func newDebugMux(reg *obs.Registry, tr *obs.Tracer, stats func() service.PoolStats) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.Render(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="repro-trace.json"`)
+		if err := tr.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// serveDebug binds addr and serves mux in the background, returning
+// the bound address (addr may carry port 0). The listener lives for
+// the process; debug servers need no graceful teardown.
+func serveDebug(addr string, mux *http.ServeMux) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug listener %s: %w", addr, err)
+	}
+	go func() {
+		if err := http.Serve(l, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "repro: debug server:", err)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// writeTracerFile exports a tracer's recorded spans as a Chrome
+// trace_event file (open in chrome://tracing or Perfetto).
+func writeTracerFile(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace (%d rank rings, %d spans dropped) to %s\n", tr.Ranks(), tr.Dropped(), path)
+	return nil
+}
+
+// writeSpansFile is writeTracerFile for an already-gathered span set
+// (the cross-process launch path).
+func writeSpansFile(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote gathered trace (%d spans) to %s\n", len(spans), path)
+	return nil
+}

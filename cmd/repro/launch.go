@@ -15,6 +15,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 )
 
 // launchDigestDomain keys the per-rank pipeline digest so it cannot
@@ -54,6 +55,8 @@ func runLaunch(args []string) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-run communication deadline")
 	setupTimeout := fs.Duration("setup-timeout", 0, "bootstrap deadline: rendezvous, dials, handshakes (0 = default)")
 	verifyIdentical := fs.Bool("verify-identical", true, "spawn mode: rerun in-process over the mem transport and require bit-identical digests")
+	traceOut := fs.String("trace", "",
+		"gather every rank's spans over the collectives and write a Chrome trace at rank 0 (join mode: every rank must pass the same flag; spawn mode forwards it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,7 +75,7 @@ func runLaunch(args []string) error {
 		if *hostsFlag != "" || *rdv != "" {
 			return fmt.Errorf("launch: -hosts/-rendezvous describe an existing run; joining one needs -rank")
 		}
-		return launchSpawn(cfg, *p, *seed, *elements, *topoFlag, *setupTimeout, *verifyIdentical)
+		return launchSpawn(cfg, *p, *seed, *elements, *topoFlag, *setupTimeout, *verifyIdentical, *traceOut)
 	}
 	lc := dist.LaunchConfig{
 		Rank:       *rank,
@@ -106,22 +109,45 @@ func runLaunch(args []string) error {
 			}
 		}()
 	}
-	return launchJoin(lc, *seed, *elements)
+	return launchJoin(lc, *seed, *elements, *traceOut)
 }
 
 // launchJoin is one rank's life: bootstrap into the world, run the
-// checked pipeline, print the digest line, tear down.
-func launchJoin(lc dist.LaunchConfig, seed uint64, elements int) error {
+// checked pipeline, print the digest line, tear down. With traceOut,
+// every rank records spans into its process-local tracer and the run
+// ends with a span gather over the collectives — rank 0 writes the
+// merged Chrome trace, which is the cross-process case GatherSpans
+// exists for.
+func launchJoin(lc dist.LaunchConfig, seed uint64, elements int, traceOut string) error {
 	node, err := dist.Join(lc)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		tracer = obs.NewTracer(node.Size(), obs.DefaultCapacity)
+	}
 	var digest uint64
 	err = dist.RunLocal(node, lc.Rank, seed, func(w *dist.Worker) error {
-		d, err := launchPipeline(w, elements)
+		if tracer != nil {
+			w.SetTracer(tracer)
+		}
+		d, perr := launchPipeline(w, elements)
 		digest = d
-		return err
+		if perr != nil {
+			return perr
+		}
+		if tracer != nil {
+			spans, gerr := dist.GatherSpans(w)
+			if gerr != nil {
+				return gerr
+			}
+			if w.Rank() == 0 {
+				return writeSpansFile(traceOut, spans)
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return err
@@ -135,7 +161,7 @@ func launchJoin(lc dist.LaunchConfig, seed uint64, elements int) error {
 // their digest lines, and (by default) reruns the identical pipeline
 // in-process over the mem transport to prove the cross-process verdicts
 // are bit-identical.
-func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string, setupTimeout time.Duration, verifyIdentical bool) error {
+func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string, setupTimeout time.Duration, verifyIdentical bool, traceOut string) error {
 	if p < 1 {
 		return fmt.Errorf("launch: need p >= 1, got %d", p)
 	}
@@ -158,7 +184,7 @@ func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string,
 	cmds := make([]*exec.Cmd, p)
 	outs := make([]bytes.Buffer, p)
 	for r := 0; r < p; r++ {
-		cmds[r] = exec.Command(exe, "launch",
+		childArgs := []string{"launch",
 			"-rank", strconv.Itoa(r),
 			"-p", strconv.Itoa(p),
 			"-rendezvous", rdvAddr,
@@ -167,7 +193,13 @@ func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string,
 			"-elements", strconv.Itoa(elements),
 			"-timeout", cfg.Timeout.String(),
 			"-setup-timeout", setupTimeout.String(),
-		)
+		}
+		if traceOut != "" {
+			// Every child records and joins the gather; rank 0's process
+			// writes the merged file.
+			childArgs = append(childArgs, "-trace", traceOut)
+		}
+		cmds[r] = exec.Command(exe, childArgs...)
 		cmds[r].Stdout = &outs[r]
 		cmds[r].Stderr = os.Stderr
 		if err := cmds[r].Start(); err != nil {
@@ -194,6 +226,9 @@ func launchSpawn(cfg dist.Config, p int, seed uint64, elements int, topo string,
 		}
 		digests[r] = d
 		fmt.Print(digestLineOf(outs[r].String()))
+	}
+	if traceOut != "" {
+		fmt.Printf("launch: rank 0 gathered every process's spans and wrote %s\n", traceOut)
 	}
 	if !verifyIdentical {
 		fmt.Printf("launch: %d ranks completed with clean verdicts\n", p)

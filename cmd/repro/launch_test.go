@@ -75,9 +75,9 @@ func TestLaunchJoinDigestLine(t *testing.T) {
 	addr, done := startTestRendezvous(t, 2)
 	errs := make(chan error, 1)
 	go func() {
-		errs <- launchJoin(dist.LaunchConfig{Rank: 1, P: 2, Rendezvous: addr}, 7, 300)
+		errs <- launchJoin(dist.LaunchConfig{Rank: 1, P: 2, Rendezvous: addr}, 7, 300, "")
 	}()
-	if err := launchJoin(dist.LaunchConfig{Rank: 0, P: 2, Rendezvous: addr}, 7, 300); err != nil {
+	if err := launchJoin(dist.LaunchConfig{Rank: 0, P: 2, Rendezvous: addr}, 7, 300, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-errs; err != nil {

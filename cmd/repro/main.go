@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -323,8 +324,19 @@ func runBench(args []string) error {
 		"emulated interconnect latency per message in the overlap benchmark (0 = raw loopback)")
 	baseline := fs.String("baseline", "", "diff the fresh rows against this committed bench JSON (trajectory mode)")
 	out := fs.String("out", "", "write the rows as JSON to this file")
+	history := fs.String("history", "",
+		"render the cross-PR trajectory of every committed artifact matching this glob (e.g. 'BENCH_*.json') and exit without benchmarking")
+	traceOut := fs.String("trace", "", "write a Chrome trace of the overlap benchmark's spans to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *history != "" {
+		entries, err := exp.LoadBenchHistory(*history)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderBenchHistory(entries))
+		return nil
 	}
 	cfg, err := core.ParseSumConfig(*sumCfg)
 	if err != nil {
@@ -373,12 +385,20 @@ func runBench(args []string) error {
 		// are noisy and the mode comparison needs best-of-N to converge.
 		ovOpt.Seed = opt.Seed
 		ovOpt.Sum = exp.DefaultOverlapBenchOptions().Sum // deliberately large table; -sum tunes the local bench
+		if *traceOut != "" {
+			ovOpt.Tracer = obs.NewTracer(ovOpt.P, obs.DefaultCapacity)
+		}
 		overlapRows, err = exp.OverlapBench(ovOpt)
 		if err != nil {
 			return err
 		}
 		fmt.Println()
 		fmt.Print(exp.RenderOverlapBench(overlapRows))
+		if *traceOut != "" {
+			if err := writeTracerFile(*traceOut, ovOpt.Tracer); err != nil {
+				return err
+			}
+		}
 	}
 	var svcRows []exp.ServiceBenchRow
 	if *withService {

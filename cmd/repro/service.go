@@ -11,6 +11,7 @@ import (
 	"repro"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -25,6 +26,9 @@ func runServe(args []string) error {
 	elements := fs.Int("elements", 2000, "elements per PE per job")
 	seed := fs.Uint64("seed", 42, "pool seed")
 	duration := fs.Duration("duration", 10*time.Second, "how long to serve (0 = until interrupt)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve live introspection at this address: /metrics, /trace, /stats, /debug/pprof/")
+	traceOut := fs.String("trace", "", "write a Chrome trace of the run's spans to this file on exit")
 	var cfg dist.Config
 	resolve := transportFlags(fs, &cfg)
 	if err := fs.Parse(args); err != nil {
@@ -34,17 +38,29 @@ func runServe(args []string) error {
 		return err
 	}
 
+	var tracer *obs.Tracer
+	if *debugAddr != "" || *traceOut != "" {
+		tracer = obs.NewTracer(*p, obs.DefaultCapacity)
+	}
 	pool, err := service.New(service.Options{
 		P:             *p,
 		Seed:          *seed,
 		Dist:          cfg,
 		MaxConcurrent: *concurrency,
 		JobTimeout:    2 * time.Minute,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
 	}
 	defer pool.Close()
+	if *debugAddr != "" {
+		bound, err := serveDebug(*debugAddr, newDebugMux(pool.Registry(), tracer, pool.Stats))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug server: http://%s/ (metrics, trace, stats, pprof)\n", bound)
+	}
 	fmt.Printf("serving: %d PEs over %s, up to %d concurrent jobs (interrupt to stop)\n",
 		pool.Size(), transportName(cfg), *concurrency)
 
@@ -83,6 +99,9 @@ func runServe(args []string) error {
 		select {
 		case <-done:
 			printStats(pool.Stats())
+			if *traceOut != "" {
+				return writeTracerFile(*traceOut, tracer)
+			}
 			return nil
 		case <-ticker.C:
 			printStats(pool.Stats())
@@ -124,12 +143,20 @@ func runSoak(args []string) error {
 	eager := fs.Bool("eager", false, "run jobs in CheckEager mode instead of CheckDeferred")
 	verbose := fs.Bool("v", false, "log escapes, false alarms, and chaos attribution")
 	out := fs.String("out", "", "write the SoakResult as JSON to this file")
+	traceOut := fs.String("trace", "", "write a Chrome trace of the soak's spans to this file")
 	resolve := transportFlags(fs, &opt.Dist)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := resolve(); err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		p := opt.P
+		if p == 0 {
+			p = 4 // SoakOptions.fill default
+		}
+		opt.Tracer = obs.NewTracer(p, obs.DefaultCapacity)
 	}
 	if *eager {
 		// fill() maps the CheckEager zero value to CheckDeferred, so
@@ -157,6 +184,11 @@ func runSoak(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote soak result to %s\n", *out)
+	}
+	if *traceOut != "" {
+		if werr := writeTracerFile(*traceOut, opt.Tracer); werr != nil {
+			return werr
+		}
 	}
 	if !res.OK {
 		msg := fmt.Sprintf("soak failed: %d escapes, %d false alarms, %d/%d flips contained, %d/%d faults contained, high-water %d",

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/stream"
 )
@@ -220,6 +221,9 @@ type pendingCheck struct {
 // are validated by the stages that use them, so an Options that only
 // fills the configs its operations need keeps working.
 func NewContext(w *Worker, opts Options) (*Context, error) {
+	if opts.Tracer != nil {
+		w.SetTracer(opts.Tracer)
+	}
 	seed, err := w.CommonSeed()
 	if err != nil {
 		return nil, err
@@ -318,6 +322,8 @@ func (c *Context) runStagePrep(op string, elemsIn int, exec func() (int, error),
 	}
 	label := fmt.Sprintf("%s#%d", op, len(c.stats))
 	st := CheckStats{Stage: label, Op: op, ElementsIn: elemsIn, Verdict: VerdictSkipped}
+	span := c.w.Span(obs.KindStage, label)
+	defer span.End()
 
 	b0, _, _ := c.commSnapshot()
 	t0 := time.Now()
@@ -416,6 +422,8 @@ func (c *Context) runStreamStage(op string, drive func(label string) ([]core.Che
 	}
 	label := fmt.Sprintf("%s#%d", op, len(c.stats))
 	st := CheckStats{Stage: label, Op: op, Verdict: VerdictSkipped}
+	span := c.w.Span(obs.KindStage, label)
+	defer span.End()
 	if c.mode == CheckOff {
 		c.stats = append(c.stats, st)
 		return nil

@@ -1,6 +1,10 @@
 package collective
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // AllReduceRD combines all PEs' words and distributes the result, using
 // recursive doubling: log p rounds in which PEs at distance 2^k
@@ -17,6 +21,8 @@ import "fmt"
 // the remaining power-of-two group runs recursive doubling, and the
 // extras receive the final result back.
 func (c *Comm) AllReduceRD(words []uint64, op ReduceOp) ([]uint64, error) {
+	sp := c.span(obs.KindCollective, "allreduce-rd")
+	defer sp.End()
 	tag := c.nextTags(64 + 2)
 	p, rank := c.Size(), c.Rank()
 	acc := make([]uint64, len(words))

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 const (
@@ -176,6 +177,13 @@ type Comm struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 
+	// tr, when non-nil, records a collective-kind span per operation
+	// and a recv-wait span per blocking receive, attributed to
+	// traceJob. Inherited by sub-communicators; nil costs nothing on
+	// the hot path (obs.Tracer's disabled contract).
+	tr       *obs.Tracer
+	traceJob int64
+
 	// topo is the transport's pre-opened connection graph, installed by
 	// SetTopology and inherited by sub-communicators. It is a routing
 	// hint, not a restriction: on a hypercube the collectives switch to
@@ -240,6 +248,29 @@ func (c *Comm) Members() []int {
 
 // Endpoint exposes the underlying endpoint.
 func (c *Comm) Endpoint() comm.Endpoint { return c.mux.Endpoint() }
+
+// SetTracer installs a span tracer (nil disables tracing) and the job
+// id its spans are attributed to. Sub-communicators minted afterwards
+// inherit both; tag blocks are stamped per span, so one tracer serves
+// every communicator over the endpoint. Install before the
+// communicator carries traffic — the field is read without
+// synchronization by the operation that emits the span.
+func (c *Comm) SetTracer(tr *obs.Tracer, job int64) {
+	c.tr = tr
+	c.traceJob = job
+}
+
+// Tracer returns the installed tracer (nil when disabled) and job id.
+func (c *Comm) Tracer() (*obs.Tracer, int64) { return c.tr, c.traceJob }
+
+// span opens a span on this PE's physical rank; the zero Active of a
+// disabled tracer makes End a no-op.
+func (c *Comm) span(kind obs.Kind, name string) obs.Active {
+	if c.tr == nil {
+		return obs.Active{}
+	}
+	return c.tr.Start(c.mux.Endpoint().Rank(), c.traceJob, c.base, kind, name)
+}
 
 // SetTopology installs the transport's connection-graph hint (see the
 // topo field). Call it right after New, before any collective; every PE
@@ -320,14 +351,16 @@ func (c *Comm) Sub() (*Comm, error) {
 	}
 	span := c.kids.span
 	sub := &Comm{
-		mux:     c.mux,
-		members: c.members,
-		myIdx:   c.myIdx,
-		base:    base,
-		limit:   base + span/2,
-		end:     base + span,
-		parent:  c,
-		topo:    c.topo,
+		mux:      c.mux,
+		members:  c.members,
+		myIdx:    c.myIdx,
+		base:     base,
+		limit:    base + span/2,
+		end:      base + span,
+		parent:   c,
+		topo:     c.topo,
+		tr:       c.tr,
+		traceJob: c.traceJob,
 	}
 	if childSpan := span / subFanout; childSpan >= minSubSpan {
 		sub.kids = &childSpace{span: childSpan, next: base + span/2, limit: base + span}
@@ -460,9 +493,13 @@ func (c *Comm) send(dst, tag int, payload []byte) error {
 
 // recv receives through the demultiplexer, which routes concurrent
 // streams on one endpoint by (src, tag). src is a logical rank of the
-// communicator's view.
+// communicator's view. With a tracer installed the blocking wait is a
+// recv-wait span — the gap collectives spend parked on the wire.
 func (c *Comm) recv(src, tag int) ([]byte, error) {
-	return c.mux.Recv(c.phys(src), tag)
+	sp := c.span(obs.KindRecvWait, "recv")
+	buf, err := c.mux.Recv(c.phys(src), tag)
+	sp.End()
+	return buf, err
 }
 
 // U64sToBytes encodes words little-endian, 8 bytes per word.
@@ -590,6 +627,8 @@ func OpSumMod(r uint64) ReduceOp {
 // Broadcast distributes root's words to all PEs along a binomial tree:
 // O(beta*k + alpha*log p). Every PE returns the broadcast data.
 func (c *Comm) Broadcast(root int, words []uint64) ([]uint64, error) {
+	sp := c.span(obs.KindCollective, "broadcast")
+	defer sp.End()
 	tag := c.nextTag()
 	p, rank := c.Size(), c.Rank()
 	if p == 1 {
@@ -626,6 +665,8 @@ func (c *Comm) Broadcast(root int, words []uint64) ([]uint64, error) {
 // result is meaningful only at root (other PEs receive their partial).
 // words is not modified. O(beta*k + alpha*log p).
 func (c *Comm) Reduce(root int, words []uint64, op ReduceOp) ([]uint64, error) {
+	sp := c.span(obs.KindCollective, "reduce")
+	defer sp.End()
 	tag := c.nextTag()
 	p, rank := c.Size(), c.Rank()
 	acc := make([]uint64, len(words))
@@ -672,6 +713,8 @@ func (c *Comm) AllReduce(words []uint64, op ReduceOp) ([]uint64, error) {
 // by rank (nil at non-root PEs). Payload lengths may differ across PEs.
 // Uses a binomial tree, so no PE handles more than O(log p) messages.
 func (c *Comm) Gather(root int, words []uint64) ([][]uint64, error) {
+	sp := c.span(obs.KindCollective, "gather")
+	defer sp.End()
 	tag := c.nextTag()
 	p, rank := c.Size(), c.Rank()
 	vrank := c.vmap(rank, root, p)
@@ -775,6 +818,8 @@ func decodeBundle(flat []uint64, into map[int][]uint64) error {
 // across ranks: PE i receives op(words_0, ..., words_{i-1}), and PE 0
 // receives identity. Dissemination (Hillis-Steele) in O(log p) rounds.
 func (c *Comm) ExclusiveScan(words []uint64, op ReduceOp, identity []uint64) ([]uint64, error) {
+	sp := c.span(obs.KindCollective, "scan")
+	defer sp.End()
 	tag := c.nextTags(64)
 	p, rank := c.Size(), c.Rank()
 	incl := make([]uint64, len(words))
@@ -848,6 +893,8 @@ func (c *Comm) ExclusiveScan(words []uint64, op ReduceOp, identity []uint64) ([]
 // Barrier blocks until all PEs have entered it (dissemination barrier,
 // O(alpha*log p)).
 func (c *Comm) Barrier() error {
+	sp := c.span(obs.KindCollective, "barrier")
+	defer sp.End()
 	tag := c.nextTags(64)
 	p, rank := c.Size(), c.Rank()
 	round := 0
@@ -887,6 +934,8 @@ func (c *Comm) Barrier() error {
 // indexed by source. Direct delivery with an offset schedule:
 // O(beta*k + alpha*p), matching Section 2's Tall-to-all.
 func (c *Comm) AllToAllBytes(parts [][]byte) ([][]byte, error) {
+	sp := c.span(obs.KindCollective, "alltoall")
+	defer sp.End()
 	tag := c.nextTag()
 	p, rank := c.Size(), c.Rank()
 	if len(parts) != p {
@@ -934,6 +983,8 @@ func (c *Comm) AllToAll(parts [][]uint64) ([][]uint64, error) {
 // sort checker's boundary exchange. Pass -1 to skip either side; a
 // skipped receive returns nil.
 func (c *Comm) Exchange(dst int, words []uint64, src int) ([]uint64, error) {
+	sp := c.span(obs.KindCollective, "exchange")
+	defer sp.End()
 	tag := c.nextTag()
 	if dst >= 0 {
 		if err := c.sendU64s(dst, tag, words); err != nil {

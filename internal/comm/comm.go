@@ -222,6 +222,55 @@ func NetworkBottleneck(n Network) Bottleneck {
 	return b
 }
 
+// MeterSnapshot is the unified transport meter: one struct covering
+// every counter any network in the package exposes, so callers stop
+// type-asserting for TCPNetwork-only accessors. Counters a transport
+// cannot know are zero; ConnsOpen is -1 for connectionless transports
+// (mem, simnet) to distinguish "no connections exist as a concept"
+// from "zero connections open".
+type MeterSnapshot struct {
+	BytesSent int64 // payload bytes, summed over endpoints
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+	WireSent  int64 // raw socket bytes incl. framing (TCP only)
+	WireRecv  int64
+	ConnsOpen int64 // open connections, -1 if connectionless
+	Dials     int64 // dial attempts, successful or not
+	PeerDowns int64 // peers declared dead (FaultyNetwork, membership)
+}
+
+// Meterer is implemented by every network in this package — wrappers
+// included, which delegate to their inner transport instead of hiding
+// it. Use NetworkMeter for the generic form.
+type Meterer interface {
+	Meter() MeterSnapshot
+}
+
+// endpointMeter sums per-endpoint payload counters — the part of the
+// meter every Network can produce.
+func endpointMeter(n Network) MeterSnapshot {
+	s := MeterSnapshot{ConnsOpen: -1}
+	for r := 0; r < n.Size(); r++ {
+		m := n.Endpoint(r).Metrics().Snapshot()
+		s.BytesSent += m.BytesSent
+		s.BytesRecv += m.BytesRecv
+		s.MsgsSent += m.MsgsSent
+		s.MsgsRecv += m.MsgsRecv
+	}
+	return s
+}
+
+// NetworkMeter returns n's unified meter: the transport's own Meter
+// when it implements Meterer, otherwise the per-endpoint payload sums
+// with connection counters marked unknown.
+func NetworkMeter(n Network) MeterSnapshot {
+	if m, ok := n.(Meterer); ok {
+		return m.Meter()
+	}
+	return endpointMeter(n)
+}
+
 // ResetNetwork zeroes the metrics of every endpoint.
 func ResetNetwork(n Network) {
 	for r := 0; r < n.Size(); r++ {

@@ -44,6 +44,8 @@ type FaultyNetwork struct {
 	injectedTag  atomic.Int64
 	// dead is the rank whose process "crashed" (ArmPeerDown); -1 none.
 	dead atomic.Int64
+	// peerDowns counts ArmPeerDown events for the unified meter.
+	peerDowns atomic.Int64
 }
 
 type faultyEndpoint struct {
@@ -112,6 +114,7 @@ func (n *FaultyNetwork) ArmPeerDown(rank int) {
 		return
 	}
 	n.dead.Store(int64(rank))
+	n.peerDowns.Add(1)
 	if p := n.inner.Size(); p > 1 {
 		src := (rank + 1) % p
 		go func() { _ = n.inner.Endpoint(src).Send(rank, KickTag, nil) }()
@@ -137,6 +140,15 @@ func (n *FaultyNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
 
 // Close tears down the wrapped network.
 func (n *FaultyNetwork) Close() error { return n.inner.Close() }
+
+// Meter exposes the inner transport's unified meter — wire bytes and
+// connection counts included, which the wrapper would otherwise hide —
+// plus the injector's own peer-down events.
+func (n *FaultyNetwork) Meter() MeterSnapshot {
+	s := NetworkMeter(n.inner)
+	s.PeerDowns += n.peerDowns.Load()
+	return s
+}
 
 // DidInject reports whether the configured fault was actually placed
 // (the target message may never have been sent).

@@ -36,6 +36,11 @@ func (n *LatencyNetwork) Size() int                  { return n.inner.Size() }
 func (n *LatencyNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
 func (n *LatencyNetwork) Close() error               { return n.inner.Close() }
 
+// Meter delegates to the inner transport so wrapping a TCP mesh in
+// emulated latency no longer hides its wire-byte and connection
+// counters.
+func (n *LatencyNetwork) Meter() MeterSnapshot { return NetworkMeter(n.inner) }
+
 func (e *latencyEndpoint) Rank() int         { return e.inner.Rank() }
 func (e *latencyEndpoint) Size() int         { return e.inner.Size() }
 func (e *latencyEndpoint) Metrics() *Metrics { return e.inner.Metrics() }

@@ -59,6 +59,10 @@ func (n *memNetwork) Size() int { return len(n.eps) }
 
 func (n *memNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
 
+// Meter returns the unified transport meter; mem is connectionless,
+// so ConnsOpen is -1.
+func (n *memNetwork) Meter() MeterSnapshot { return endpointMeter(n) }
+
 func (n *memNetwork) Close() error {
 	n.once.Do(func() { close(n.closed) })
 	return nil

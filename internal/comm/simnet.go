@@ -96,6 +96,12 @@ func (n *SimNetwork) Endpoint(rank int) Endpoint { return n.eps[rank] }
 // Close tears down the underlying network.
 func (n *SimNetwork) Close() error { return n.inner.Close() }
 
+// Meter returns the unified transport meter. Byte counts include the
+// 8-byte virtual-time header each message carries (the endpoints
+// delegate metering to the underlying mem transport); simnet is
+// connectionless.
+func (n *SimNetwork) Meter() MeterSnapshot { return endpointMeter(n) }
+
 // VirtualTimeNs returns rank's virtual clock. Only meaningful after the
 // SPMD body has finished.
 func (n *SimNetwork) VirtualTimeNs(rank int) float64 { return n.eps[rank].clockNs() }

@@ -799,6 +799,16 @@ func (n *TCPNetwork) ConnsOpen() int64 { return n.core.connsDialed.Load() }
 // the network has made.
 func (n *TCPNetwork) DialsAttempted() int64 { return n.core.dialsAttempted.Load() }
 
+// Meter returns the unified transport meter: per-endpoint payload
+// sums plus the socket-level wire and connection counters.
+func (n *TCPNetwork) Meter() MeterSnapshot {
+	s := endpointMeter(n)
+	s.WireSent, s.WireRecv = n.WireBytes()
+	s.ConnsOpen = n.ConnsOpen()
+	s.Dials = n.DialsAttempted()
+	return s
+}
+
 // Close tears the network down: pending and future operations fail with
 // ErrClosed, and all transport goroutines have exited when it returns.
 func (n *TCPNetwork) Close() error {

@@ -146,6 +146,22 @@ func (n *TCPNode) WireBytes() (sent, recv int64) {
 	return n.core.wireSent.Load(), n.core.wireRecv.Load()
 }
 
+// Meter returns this process's unified transport meter. A TCPNode
+// hosts exactly one rank, so the payload sums cover the local
+// endpoint only (endpointMeter would panic asking for remote ranks);
+// network-wide totals are the sum over processes.
+func (n *TCPNode) Meter() MeterSnapshot {
+	m := n.node.ep.Metrics().Snapshot()
+	s := MeterSnapshot{
+		BytesSent: m.BytesSent, BytesRecv: m.BytesRecv,
+		MsgsSent: m.MsgsSent, MsgsRecv: m.MsgsRecv,
+	}
+	s.WireSent, s.WireRecv = n.WireBytes()
+	s.ConnsOpen = n.ConnsOpen()
+	s.Dials = n.DialsAttempted()
+	return s
+}
+
 // Close tears the node down; pending and future operations fail with
 // ErrClosed. Peers observe the usual connection loss semantics
 // (their sends to this rank fail, their reads return).

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // PendingVerdicts is an in-flight asynchronous checker resolution: the
@@ -50,8 +51,14 @@ func ResolveAsync(w *dist.Worker, states ...CheckState) *PendingVerdicts {
 	}
 	p.sub = sub
 	t0 := time.Now()
+	// The resolve span covers launch to completion — started here, not
+	// inside the goroutine, so it matches Cost()'s wall time and shows
+	// the round riding the wire under the next stage's compute span
+	// even when a busy scheduler delays the goroutine's first slice.
+	span := w.Span(obs.KindResolve, "resolve")
 	go func() {
 		defer close(p.done)
+		defer span.End()
 		defer func() {
 			if v := recover(); v != nil {
 				p.err = fmt.Errorf("core: async resolve panicked: %v", v)

@@ -5,6 +5,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 )
 
 // CheckState is the local half of a two-phase checker: the result of a
@@ -60,6 +61,8 @@ type CheckState interface {
 // All PEs must call Resolve at the same point of their program with
 // states for the same stages in the same order.
 func Resolve(w *dist.Worker, states ...CheckState) ([]bool, error) {
+	span := w.Span(obs.KindResolve, "resolve")
+	defer span.End()
 	return ResolveOn(w.Coll, states...)
 }
 

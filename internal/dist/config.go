@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // Transport names a point-to-point backend for RunConfig.
@@ -83,6 +84,10 @@ type Config struct {
 	// DialBackoff is the TCP dial retry backoff base; zero means
 	// comm.DefaultDialBackoff.
 	DialBackoff time.Duration
+	// Tracer, when non-nil, is installed on every worker RunConfig
+	// builds, so collectives, stage boundaries, and resolve rounds
+	// record spans (internal/obs). Nil — the default — is free.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the in-memory transport with the documented
@@ -141,6 +146,13 @@ func RunConfig(cfg Config, p int, seed uint64, body func(w *Worker) error) error
 		return err
 	}
 	defer net.Close()
+	if cfg.Tracer != nil {
+		inner := body
+		body = func(w *Worker) error {
+			w.SetTracer(cfg.Tracer)
+			return inner(w)
+		}
+	}
 	return RunNetworkTimeout(net, cfg.Timeout, seed, body)
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 )
 
 // workerSeedGamma spaces per-rank RNG seeds (the SplitMix64 increment),
@@ -55,6 +56,11 @@ type Worker struct {
 
 	commonSeed uint64
 	haveCommon bool
+
+	// tr, when non-nil, traces this worker's spans; job attributes
+	// them (0 outside service mode, the job stream id inside it).
+	tr  *obs.Tracer
+	job int64
 }
 
 // Rank returns this PE's number in 0..Size()-1.
@@ -68,6 +74,28 @@ func (w *Worker) RunSeed() uint64 { return w.seed }
 
 // Endpoint exposes this PE's port into the network, e.g. for metrics.
 func (w *Worker) Endpoint() comm.Endpoint { return w.Coll.Endpoint() }
+
+// SetTracer installs a span tracer on this worker and its collective
+// communicator (nil disables tracing everywhere). Install before the
+// worker carries traffic; job workers derived afterwards inherit it.
+func (w *Worker) SetTracer(tr *obs.Tracer) {
+	w.tr = tr
+	w.Coll.SetTracer(tr, w.job)
+}
+
+// Tracer returns the installed tracer, nil when tracing is disabled.
+func (w *Worker) Tracer() *obs.Tracer { return w.tr }
+
+// Span opens a span on this worker's physical endpoint rank,
+// attributed to its job and its root tag block. The zero Active of a
+// disabled tracer makes End free.
+func (w *Worker) Span(kind obs.Kind, name string) obs.Active {
+	if w.tr == nil {
+		return obs.Active{}
+	}
+	lo, _ := w.Coll.Block()
+	return w.tr.Start(w.Endpoint().Rank(), w.job, int64(lo), kind, name)
+}
 
 // CommonSeed returns the run-wide seed all PEs share, from which the
 // checkers key their common hash functions. It is established once per
@@ -163,7 +191,7 @@ func NewWorkers(net comm.Network, seed uint64) ([]*Worker, error) {
 // PEs. On a full view logical and physical coincide, so existing
 // behavior is unchanged.
 func (w *Worker) JobWorker(coll *collective.Comm, commonSeed, stream uint64) *Worker {
-	return &Worker{
+	jw := &Worker{
 		rank:       coll.Rank(),
 		size:       coll.Size(),
 		seed:       w.seed,
@@ -172,6 +200,16 @@ func (w *Worker) JobWorker(coll *collective.Comm, commonSeed, stream uint64) *Wo
 		commonSeed: commonSeed,
 		haveCommon: true,
 	}
+	if w.tr != nil {
+		// The job inherits the resident worker's tracer with the
+		// stream id as its span attribution, and the job's
+		// sub-communicator is stamped too, so collective and recv-wait
+		// spans land on the job's trace lane.
+		jw.tr = w.tr
+		jw.job = int64(stream)
+		coll.SetTracer(w.tr, jw.job)
+	}
+	return jw
 }
 
 // Run executes body as p SPMD workers over a fresh in-memory network,

@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -40,6 +41,13 @@ type Membership struct {
 	changed chan struct{} // closed and replaced on every view change
 	stopped bool
 	acks    map[int]*ackState
+
+	// heartbeats counts probes sent, convictions counts removals this
+	// PE applied to its view (its own suspicions plus peers' DOWN
+	// broadcasts) — the detector's contribution to the unified metrics
+	// registry.
+	heartbeats  atomic.Int64
+	convictions atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -143,6 +151,13 @@ func (m *Membership) View() View {
 // Epoch returns the current view's epoch.
 func (m *Membership) Epoch() int { return m.View().Epoch() }
 
+// Heartbeats returns how many probes this PE's detector has sent.
+func (m *Membership) Heartbeats() int64 { return m.heartbeats.Load() }
+
+// Convictions returns how many removals this PE has applied to its
+// view — its own suspicions plus DOWN broadcasts received from peers.
+func (m *Membership) Convictions() int64 { return m.convictions.Load() }
+
 // self returns this PE's physical rank.
 func (m *Membership) self() int { return m.w.Coll.Endpoint().Rank() }
 
@@ -229,6 +244,7 @@ func (m *Membership) beatLoop() {
 			// chaos harness): nothing left to probe.
 			return
 		}
+		m.heartbeats.Add(1)
 	}
 }
 
@@ -307,6 +323,7 @@ func (m *Membership) applyDown(rank int) *View {
 	close(m.changed)
 	m.changed = make(chan struct{})
 	m.mu.Unlock()
+	m.convictions.Add(1)
 	m.w.Coll.PoisonCtl(rank, &comm.PeerDownError{Rank: rank})
 	if m.OnChange != nil {
 		m.OnChange(v)

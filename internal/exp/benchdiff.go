@@ -51,99 +51,63 @@ type BenchDelta struct {
 	Regressed  bool // Ratio > 1 + RegressionTolerance
 }
 
+// benchMetric is one artifact row's identity and primary metric
+// (ns/elem, ns/op, or makespan — lower is better).
+type benchMetric struct {
+	Key string
+	Ns  float64
+}
+
+// artifactMetrics flattens an artifact into (row identity, primary
+// metric) pairs in family order — the one place row-identity keys are
+// constructed, shared by the baseline diff and the cross-PR history.
+func artifactMetrics(a BenchArtifact) []benchMetric {
+	var ms []benchMetric
+	for _, r := range a.Local {
+		ms = append(ms, benchMetric{fmt.Sprintf("local/%s/%s/w%d", r.Benchmark, r.Variant, r.Workers), r.NsPerElem})
+	}
+	for _, r := range a.Net {
+		ms = append(ms, benchMetric{fmt.Sprintf("net/%s/%s", r.Benchmark, r.Variant), r.NsPerOp})
+	}
+	for _, r := range a.Stream {
+		ms = append(ms, benchMetric{fmt.Sprintf("stream/%s/%s/c%d", r.Benchmark, r.Variant, r.Chunk), r.NsPerElem})
+	}
+	for _, r := range a.Overlap {
+		ms = append(ms, benchMetric{fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode), r.MakespanNs})
+	}
+	for _, r := range a.Service {
+		ms = append(ms, benchMetric{fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency), r.NsPerJob})
+	}
+	for _, r := range a.Recovery {
+		ms = append(ms, benchMetric{fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P), float64(r.RecoverNs)})
+	}
+	for _, r := range a.Topology {
+		ms = append(ms, benchMetric{fmt.Sprintf("topology/%s/p%d", r.Topology, r.P), r.SetupNs})
+	}
+	return ms
+}
+
 // DiffBench matches current rows against a baseline artifact by row
 // identity — benchmark/variant/shape, never position — and reports one
 // delta per matched row. Rows present on only one side are skipped:
 // bench families come and go across PRs, and the diff tracks what is
 // comparable.
 func DiffBench(baseline, current BenchArtifact) []BenchDelta {
+	base := map[string]float64{}
+	for _, m := range artifactMetrics(baseline) {
+		base[m.Key] = m.Ns
+	}
 	var deltas []BenchDelta
-	add := func(key string, base, cur float64) {
-		if base <= 0 || cur <= 0 {
-			return
+	for _, m := range artifactMetrics(current) {
+		b, ok := base[m.Key]
+		if !ok || b <= 0 || m.Ns <= 0 {
+			continue
 		}
-		ratio := cur / base
+		ratio := m.Ns / b
 		deltas = append(deltas, BenchDelta{
-			Key: key, BaselineNs: base, CurrentNs: cur,
+			Key: m.Key, BaselineNs: b, CurrentNs: m.Ns,
 			Ratio: ratio, Regressed: ratio > 1+RegressionTolerance,
 		})
-	}
-
-	local := map[string]float64{}
-	for _, r := range baseline.Local {
-		local[fmt.Sprintf("local/%s/%s/w%d", r.Benchmark, r.Variant, r.Workers)] = r.NsPerElem
-	}
-	for _, r := range current.Local {
-		key := fmt.Sprintf("local/%s/%s/w%d", r.Benchmark, r.Variant, r.Workers)
-		if base, ok := local[key]; ok {
-			add(key, base, r.NsPerElem)
-		}
-	}
-
-	net := map[string]float64{}
-	for _, r := range baseline.Net {
-		net[fmt.Sprintf("net/%s/%s", r.Benchmark, r.Variant)] = r.NsPerOp
-	}
-	for _, r := range current.Net {
-		key := fmt.Sprintf("net/%s/%s", r.Benchmark, r.Variant)
-		if base, ok := net[key]; ok {
-			add(key, base, r.NsPerOp)
-		}
-	}
-
-	stream := map[string]float64{}
-	for _, r := range baseline.Stream {
-		stream[fmt.Sprintf("stream/%s/%s/c%d", r.Benchmark, r.Variant, r.Chunk)] = r.NsPerElem
-	}
-	for _, r := range current.Stream {
-		key := fmt.Sprintf("stream/%s/%s/c%d", r.Benchmark, r.Variant, r.Chunk)
-		if base, ok := stream[key]; ok {
-			add(key, base, r.NsPerElem)
-		}
-	}
-
-	overlap := map[string]float64{}
-	for _, r := range baseline.Overlap {
-		overlap[fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode)] = r.MakespanNs
-	}
-	for _, r := range current.Overlap {
-		key := fmt.Sprintf("overlap/%s/%s", r.Benchmark, r.Mode)
-		if base, ok := overlap[key]; ok {
-			add(key, base, r.MakespanNs)
-		}
-	}
-
-	svc := map[string]float64{}
-	for _, r := range baseline.Service {
-		svc[fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency)] = r.NsPerJob
-	}
-	for _, r := range current.Service {
-		key := fmt.Sprintf("service/%s/%s/p%d/c%d", r.Benchmark, r.Transport, r.P, r.Concurrency)
-		if base, ok := svc[key]; ok {
-			add(key, base, r.NsPerJob)
-		}
-	}
-
-	rec := map[string]float64{}
-	for _, r := range baseline.Recovery {
-		rec[fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P)] = float64(r.RecoverNs)
-	}
-	for _, r := range current.Recovery {
-		key := fmt.Sprintf("recovery/%s/p%d", r.Transport, r.P)
-		if base, ok := rec[key]; ok {
-			add(key, base, float64(r.RecoverNs))
-		}
-	}
-
-	topo := map[string]float64{}
-	for _, r := range baseline.Topology {
-		topo[fmt.Sprintf("topology/%s/p%d", r.Topology, r.P)] = r.SetupNs
-	}
-	for _, r := range current.Topology {
-		key := fmt.Sprintf("topology/%s/p%d", r.Topology, r.P)
-		if base, ok := topo[key]; ok {
-			add(key, base, r.SetupNs)
-		}
 	}
 	return deltas
 }

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistoryEntry is one committed bench artifact in the cross-PR
+// trajectory: its path, the PR sequence number parsed from the file
+// name (BENCH_<n>.json), and the loaded artifact.
+type HistoryEntry struct {
+	Path     string
+	Seq      int
+	Artifact BenchArtifact
+}
+
+// LoadBenchHistory loads every artifact matching the glob (typically
+// 'BENCH_*.json') and returns them ordered by the first integer in
+// each base name — numeric, so BENCH_10 follows BENCH_9 instead of
+// BENCH_1. Files without a number sort after the numbered ones, by
+// name.
+func LoadBenchHistory(pattern string) ([]HistoryEntry, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("exp: bench history %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("exp: bench history: no artifacts match %q", pattern)
+	}
+	entries := make([]HistoryEntry, 0, len(paths))
+	for _, p := range paths {
+		a, err := ReadBenchArtifact(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, HistoryEntry{Path: p, Seq: artifactSeq(p), Artifact: a})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Seq != entries[j].Seq {
+			return entries[i].Seq < entries[j].Seq
+		}
+		return entries[i].Path < entries[j].Path
+	})
+	return entries, nil
+}
+
+// artifactSeq extracts the first integer run from a path's base name,
+// or a large sentinel when there is none.
+func artifactSeq(path string) int {
+	base := filepath.Base(path)
+	start := -1
+	for i := 0; i <= len(base); i++ {
+		if i < len(base) && base[i] >= '0' && base[i] <= '9' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			n, err := strconv.Atoi(base[start:i])
+			if err == nil {
+				return n
+			}
+			start = -1
+		}
+	}
+	return 1 << 30
+}
+
+// RenderBenchHistory prints the per-row metric series across the
+// loaded artifacts — one line per row identity in first-appearance
+// order, one column per artifact (labelled by its parsed sequence
+// number), and a last/first ratio where both ends exist. This is the
+// cross-PR trajectory view the per-PR baseline diff cannot give:
+// slow creep that stays under RegressionTolerance every single PR
+// still shows up here.
+func RenderBenchHistory(entries []HistoryEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench trajectory across %d artifacts (primary metric in ns; lower is better)\n\n", len(entries))
+
+	series := map[string][]float64{}
+	var order []string
+	for i, e := range entries {
+		for _, m := range artifactMetrics(e.Artifact) {
+			vals, seen := series[m.Key]
+			if !seen {
+				vals = make([]float64, len(entries))
+				order = append(order, m.Key)
+			}
+			vals[i] = m.Ns
+			series[m.Key] = vals
+		}
+	}
+
+	fmt.Fprintf(&b, "%-44s", "row")
+	for _, e := range entries {
+		label := filepath.Base(e.Path)
+		if e.Seq < 1<<30 {
+			label = fmt.Sprintf("#%d", e.Seq)
+		}
+		fmt.Fprintf(&b, " %12s", label)
+	}
+	fmt.Fprintf(&b, " %8s\n", "last/1st")
+	for _, key := range order {
+		fmt.Fprintf(&b, "%-44s", key)
+		vals := series[key]
+		first, last := 0.0, 0.0
+		for _, v := range vals {
+			if v > 0 {
+				if first == 0 {
+					first = v
+				}
+				last = v
+			}
+		}
+		for _, v := range vals {
+			if v > 0 {
+				fmt.Fprintf(&b, " %12.1f", v)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		if first > 0 && last > 0 {
+			fmt.Fprintf(&b, " %8.2f\n", last/first)
+		} else {
+			fmt.Fprintf(&b, " %8s\n", "-")
+		}
+	}
+	return b.String()
+}

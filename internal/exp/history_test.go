@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchHistoryNumericOrderAndRender writes artifacts named so that
+// lexicographic order would be wrong (BENCH_10 between BENCH_1 and
+// BENCH_2) and checks the history loads them in numeric PR order and
+// renders a per-row series with the trajectory ratio.
+func TestBenchHistoryNumericOrderAndRender(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) {
+		a := BenchArtifact{Local: []LocalBenchRow{{Benchmark: "sumagg", Variant: "serial", Workers: 1, NsPerElem: ns}}}
+		blob, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_1.json", 10)
+	write("BENCH_2.json", 8)
+	write("BENCH_10.json", 5)
+
+	entries, err := LoadBenchHistory(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(entries))
+	}
+	for i, want := range []int{1, 2, 10} {
+		if entries[i].Seq != want {
+			t.Errorf("entry %d: seq %d, want %d (numeric order, not lexicographic)", i, entries[i].Seq, want)
+		}
+	}
+
+	out := RenderBenchHistory(entries)
+	if !strings.Contains(out, "local/sumagg/serial/w1") {
+		t.Errorf("render missing the row identity:\n%s", out)
+	}
+	if !strings.Contains(out, "0.50") { // last/first = 5/10
+		t.Errorf("render missing the last/first trajectory ratio 0.50:\n%s", out)
+	}
+
+	if _, err := LoadBenchHistory(filepath.Join(dir, "NOPE_*.json")); err == nil {
+		t.Error("empty glob should error, not render an empty table")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,10 @@ type OverlapBenchOptions struct {
 	// default is the TCP mesh. Wall-clock makespans are meaningless on
 	// simnet (virtual time).
 	Dist dist.Config
+	// Tracer, when non-nil, records spans for every mode's pipeline
+	// (internal/obs) — the exported trace shows the overlap mode's
+	// resolve lanes riding under the next stage's compute.
+	Tracer *obs.Tracer
 }
 
 // DefaultOverlapBenchOptions returns CI-scale defaults.
@@ -192,6 +197,7 @@ func newOverlapBenchRunner(opt OverlapBenchOptions, mode string) (*overlapBenchR
 	}
 	opts := repro.DefaultOptions().WithParallelism(serialFloor(opt.Parallelism))
 	opts.Sum = opt.Sum
+	opts.Tracer = opt.Tracer
 	switch mode {
 	case "eager":
 		opts.Mode = repro.CheckEager

@@ -118,6 +118,7 @@ func RunRecoveryEpisode(opt SoakOptions) (RecoveryEpisode, error) {
 		Seed:          opt.Seed,
 		MaxConcurrent: opt.Concurrency,
 		JobTimeout:    opt.JobTimeout,
+		Tracer:        opt.Tracer,
 		// 25ms probes with the default 500ms suspicion threshold: fast
 		// enough that the episode turns around quickly, wide enough that
 		// race-detector scheduling hiccups never convict a live peer (the

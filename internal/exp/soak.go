@@ -10,6 +10,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/hashing"
 	"repro/internal/manipulate"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -44,6 +45,9 @@ type SoakOptions struct {
 	KillRank int
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
+	// Tracer, when non-nil, records spans for the soak's pool jobs
+	// (internal/obs).
+	Tracer *obs.Tracer
 }
 
 func (o *SoakOptions) fill() {
@@ -344,6 +348,7 @@ func Soak(opt SoakOptions) (SoakResult, error) {
 		Seed:          opt.Seed,
 		MaxConcurrent: opt.Concurrency,
 		JobTimeout:    opt.JobTimeout,
+		Tracer:        opt.Tracer,
 	})
 	if err != nil {
 		return res, err

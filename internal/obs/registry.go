@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a registry-owned monotonic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. Nil-safe so callers can thread an
+// optional counter the way they thread an optional tracer.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Quantile is a bounded ring of observations rendered as p50/p99/max
+// plus a running count — the registry form of the service latency
+// ring.
+type Quantile struct {
+	mu    sync.Mutex
+	buf   []int64
+	next  int
+	n     int
+	count int64
+}
+
+const quantileRingSize = 4096
+
+// Observe records one sample. Nil-safe.
+func (q *Quantile) Observe(v int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if len(q.buf) == 0 {
+		q.buf = make([]int64, quantileRingSize)
+	}
+	q.buf[q.next] = v
+	q.next = (q.next + 1) % len(q.buf)
+	if q.n < len(q.buf) {
+		q.n++
+	}
+	q.count++
+	q.mu.Unlock()
+}
+
+// snapshot returns (count, p50, p99, max) over the retained window.
+func (q *Quantile) snapshot() (count, p50, p99, max int64) {
+	q.mu.Lock()
+	vals := make([]int64, q.n)
+	copy(vals, q.buf[:q.n])
+	count = q.count
+	q.mu.Unlock()
+	if len(vals) == 0 {
+		return count, 0, 0, 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	pick := func(p float64) int64 {
+		i := int(p * float64(len(vals)-1))
+		return vals[i]
+	}
+	return count, pick(0.50), pick(0.99), vals[len(vals)-1]
+}
+
+// entry is one registered metric: exactly one of the fields is set.
+type entry struct {
+	counter *Counter
+	gauge   func() int64
+	fgauge  func() float64
+	quant   *Quantile
+}
+
+// Registry is one named roof over the runtime's meters: owned
+// counters, pull-style gauges reading the existing atomic meters in
+// place, and quantile rings. Registration is idempotent by name —
+// re-registering replaces, so rebinding a live network after an
+// elastic view change just overwrites the gauges.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]entry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]entry)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.counter != nil {
+		return e.counter
+	}
+	c := &Counter{}
+	r.entries[name] = entry{counter: c}
+	return c
+}
+
+// Gauge registers a pull-style int64 gauge read at render time.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	r.entries[name] = entry{gauge: fn}
+	r.mu.Unlock()
+}
+
+// GaugeFloat registers a pull-style float gauge.
+func (r *Registry) GaugeFloat(name string, fn func() float64) {
+	r.mu.Lock()
+	r.entries[name] = entry{fgauge: fn}
+	r.mu.Unlock()
+}
+
+// Quantile returns the named quantile ring, creating it on first use.
+// It renders as name_count, name_p50, name_p99, name_max.
+func (r *Registry) Quantile(name string) *Quantile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.quant != nil {
+		return e.quant
+	}
+	q := &Quantile{}
+	r.entries[name] = entry{quant: q}
+	return q
+}
+
+// Snapshot evaluates every metric into a flat name → value map;
+// quantile rings expand into their _count/_p50/_p99/_max views.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	ents := make([]entry, 0, len(r.entries))
+	for n, e := range r.entries {
+		names = append(names, n)
+		ents = append(ents, e)
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(names))
+	for i, name := range names {
+		e := ents[i]
+		switch {
+		case e.counter != nil:
+			out[name] = float64(e.counter.Value())
+		case e.gauge != nil:
+			out[name] = float64(e.gauge())
+		case e.fgauge != nil:
+			out[name] = e.fgauge()
+		case e.quant != nil:
+			count, p50, p99, max := e.quant.snapshot()
+			out[name+"_count"] = float64(count)
+			out[name+"_p50"] = float64(p50)
+			out[name+"_p99"] = float64(p99)
+			out[name+"_max"] = float64(max)
+		}
+	}
+	return out
+}
+
+// Render writes the registry as sorted "name value" lines — the
+// /metrics wire format. Integral values render without an exponent so
+// byte and message counters stay grep-able.
+func (r *Registry) Render(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := snap[n]
+		var err error
+		if v == float64(int64(v)) {
+			_, err = fmt.Fprintf(w, "%s %d\n", n, int64(v))
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", n, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/obs"
+)
+
+// TestConcurrentJobsEmitSpans floods a traced pool on each transport
+// with concurrent jobs — every job's four rank goroutines emit spans
+// into the shared tracer at once, which is the data race this test
+// exists to put in front of the race detector. It also pins down the
+// lane contract: every span carries its job's ID, so concurrent jobs
+// land in separate trace lanes.
+func TestConcurrentJobsEmitSpans(t *testing.T) {
+	for _, transport := range []dist.Transport{dist.TransportMem, dist.TransportSim, dist.TransportTCP} {
+		t.Run(string(transport), func(t *testing.T) {
+			const (
+				p    = 4
+				jobs = 64
+			)
+			tracer := obs.NewTracer(p, obs.DefaultCapacity)
+			pool, err := New(Options{
+				P:             p,
+				Seed:          11,
+				Dist:          dist.Config{Transport: transport},
+				MaxConcurrent: jobs,
+				Tracer:        tracer,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+
+			handles := make([]*Job, jobs)
+			for i := range handles {
+				pairs := []repro.Pair{{Key: 1, Value: uint64(i + 1)}, {Key: 2, Value: 7}}
+				h, err := pool.Submit(fmt.Sprintf("traced-%d", i), func(ctx *repro.Context) error {
+					return ctx.AssertSum(pairs, pairs)
+				})
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				handles[i] = h
+			}
+			for i, h := range handles {
+				if err := h.Await(); err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+			}
+
+			spans := tracer.Snapshot()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+			seenJobs := map[int64]bool{}
+			seenKinds := map[obs.Kind]bool{}
+			for _, s := range spans {
+				if s.Rank < 0 || int(s.Rank) >= p {
+					t.Fatalf("span on rank %d outside the %d-rank mesh", s.Rank, p)
+				}
+				seenJobs[s.Job] = true
+				seenKinds[s.Kind] = true
+			}
+			// Every job ran its own traced pipeline; a handful of rings
+			// wrapping is fine, all jobs collapsing onto one lane is not.
+			if len(seenJobs) < jobs/2 {
+				t.Errorf("spans cover only %d distinct job lanes, want >= %d", len(seenJobs), jobs/2)
+			}
+			for _, want := range []obs.Kind{obs.KindStage, obs.KindCollective, obs.KindResolve} {
+				if !seenKinds[want] {
+					t.Errorf("no %v span recorded", want)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolRegistryRendersUnifiedMetrics checks the one-registry
+// contract: pool accounting, transport meters, collective rounds, and
+// the job latency quantile all render from Pool.Registry with their
+// documented names, and the numbers move when jobs run.
+func TestPoolRegistryRendersUnifiedMetrics(t *testing.T) {
+	pool, err := New(Options{P: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	reg := pool.Registry()
+	if pool.Registry() != reg {
+		t.Fatal("Registry is not cached: two calls returned different registries")
+	}
+
+	const jobs = 5
+	for i := 0; i < jobs; i++ {
+		pairs := []repro.Pair{{Key: 9, Value: uint64(i)}}
+		h, err := pool.Submit(fmt.Sprintf("reg-%d", i), func(ctx *repro.Context) error {
+			return ctx.AssertSum(pairs, pairs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Await(); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["service_jobs_completed"]; got != jobs {
+		t.Errorf("service_jobs_completed = %v, want %d", got, jobs)
+	}
+	if got := snap["service_jobs_passed"]; got != jobs {
+		t.Errorf("service_jobs_passed = %v, want %d", got, jobs)
+	}
+	if snap["comm_bytes_sent"] <= 0 {
+		t.Errorf("comm_bytes_sent = %v, want > 0", snap["comm_bytes_sent"])
+	}
+	if snap["collective_ops_started"] <= 0 {
+		t.Errorf("collective_ops_started = %v, want > 0", snap["collective_ops_started"])
+	}
+	if got := snap["service_job_latency_ns_count"]; got != jobs {
+		t.Errorf("service_job_latency_ns_count = %v, want %d (observed per completed job)", got, jobs)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		"service_jobs_submitted", "service_jobs_completed", "service_jobs_inflight",
+		"comm_bytes_sent", "comm_msgs_sent", "comm_conns_open",
+		"collective_ops_started", "service_job_latency_ns_p50", "service_job_latency_ns_p99",
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("rendered metrics missing %q:\n%s", name, text)
+		}
+	}
+}
+
+// TestPoolRegistryElasticMetrics checks that an elastic pool's
+// registry additionally exposes the failure detector's counters.
+func TestPoolRegistryElasticMetrics(t *testing.T) {
+	pool, err := New(Options{P: 3, Seed: 5, Elastic: &ElasticOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	snap := pool.Registry().Snapshot()
+	for _, name := range []string{"membership_heartbeats", "membership_convictions", "membership_epoch", "membership_alive"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("elastic registry missing %q", name)
+		}
+	}
+	if got := snap["membership_alive"]; got != 3 {
+		t.Errorf("membership_alive = %v, want 3", got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 	recov "repro/internal/recover"
 )
 
@@ -80,6 +81,10 @@ type Options struct {
 	// jobs that lose a rank, and checked recovery for recoverable jobs.
 	// Nil keeps the classic fixed-membership pool with zero overhead.
 	Elastic *ElasticOptions
+	// Tracer, when non-nil, is installed on every resident worker, so
+	// each job's stages, collectives, and resolve rounds record spans
+	// keyed by the job's ID (internal/obs). Nil — the default — is free.
+	Tracer *obs.Tracer
 }
 
 // jobSpec is what a submitted job runs: exactly one of body/rbody is
@@ -129,6 +134,8 @@ type Pool struct {
 	lat           latencyRing
 	view          dist.View     // current view; meaningful when memberships != nil
 	viewChangedCh chan struct{} // closed and replaced on every view change
+	reg           *obs.Registry // lazily built by Registry()
+	jobLat        *obs.Quantile // registry's job-latency ring; nil until then
 }
 
 // New builds the mesh per opt.Dist and starts a pool over it. The pool
@@ -172,6 +179,14 @@ func NewOnNetwork(net comm.Network, opt Options) (*Pool, error) {
 	workers, err := dist.NewWorkers(net, opt.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Tracer != nil {
+		// Install on the resident workers: JobWorker propagates the
+		// tracer to every job's sub-communicator with the job's ID as
+		// the span job key, so concurrent jobs land in separate lanes.
+		for _, w := range workers {
+			w.SetTracer(opt.Tracer)
+		}
 	}
 	common, err := workers[0].CommonSeed() // cached by NewWorkers
 	if err != nil {
@@ -399,6 +414,17 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, spec jobSpec) {
 			j.deadRank = dead
 			attributed := peerDownError(j, dead)
 			if j.recoverable {
+				// The recovery span sits on the first survivor's rank:
+				// the replay is collective, but one lane per job keeps
+				// the trace readable next to the job's resolve lanes.
+				surv := j.members[0]
+				for _, m := range j.members {
+					if m != dead {
+						surv = m
+						break
+					}
+				}
+				rspan := p.opts.Tracer.Start(surv, int64(j.id), int64(j.block[0]), obs.KindRecovery, "recover")
 				switch rerr := p.recoverJob(j, spec, dead); {
 				case rerr == nil:
 					err = nil
@@ -411,6 +437,7 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, spec jobSpec) {
 				default:
 					err = fmt.Errorf("%w; recovery failed: %v", attributed, rerr)
 				}
+				rspan.End()
 			} else {
 				err = attributed
 			}
@@ -459,6 +486,7 @@ func (p *Pool) runJob(j *Job, subs []*collective.Comm, spec jobSpec) {
 	p.totalBytes += cost.Bytes
 	p.totalRound += int64(cost.Rounds)
 	p.lat.add(cost.WallNs)
+	p.jobLat.Observe(cost.WallNs) // nil-safe until Registry() is called
 	p.mu.Unlock()
 
 	p.dropRetention(j)

@@ -59,6 +59,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/hashing"
+	"repro/internal/obs"
 	"repro/internal/ops"
 )
 
@@ -157,6 +158,13 @@ type Options struct {
 	// when the round rides the wire — so this is a debugging and
 	// measurement switch, not a soundness one.
 	NoOverlap bool
+	// Tracer, when non-nil, is installed on the Context's worker by
+	// NewContext: every stage, collective round, receive wait, and
+	// resolve round records a span (internal/obs). Export the result
+	// with obs.Tracer.WriteChromeTrace, or cross-rank with
+	// dist.GatherSpans. Nil — the default — costs nothing on the hot
+	// paths.
+	Tracer *obs.Tracer
 }
 
 // WithParallelism returns a copy of the Options with the local
